@@ -1,0 +1,102 @@
+package cellqos
+
+// One benchmark per reproduced table and figure. Each runs the
+// corresponding experiment at reduced scale (shorter simulated time,
+// fewer load points) so `go test -bench=.` finishes in minutes; use
+// cmd/experiments for paper-scale regeneration.
+
+import (
+	"testing"
+
+	"cellqos/internal/experiments"
+)
+
+// benchOpts shrinks experiment runs to benchmark scale.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Duration:      600,
+		TraceDuration: 400,
+		Days:          1,
+		Loads:         []float64{100, 300},
+		Seed:          1,
+	}
+}
+
+func benchExperiment(b *testing.B, run func(experiments.Options) *experiments.Report) {
+	b.Helper()
+	opt := benchOpts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep := run(opt)
+		if len(rep.Tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Fig. 7: P_CB/P_HD vs load under static
+// G=10 reservation.
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, experiments.Fig7) }
+
+// BenchmarkFig8 regenerates Fig. 8: P_CB/P_HD vs load under AC3.
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, experiments.Fig8) }
+
+// BenchmarkFig9 regenerates Fig. 9: average B_r and B_u vs load.
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, experiments.Fig9) }
+
+// BenchmarkFig10 regenerates Fig. 10: T_est and B_r traces.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, experiments.Fig10) }
+
+// BenchmarkFig11 regenerates Fig. 11: cumulative P_HD traces.
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, experiments.Fig11) }
+
+// BenchmarkFig12 regenerates Fig. 12: AC1/AC2/AC3 comparison.
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, experiments.Fig12) }
+
+// BenchmarkFig13 regenerates Fig. 13: N_calc vs load.
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, experiments.Fig13) }
+
+// BenchmarkTable2 regenerates Table 2: per-cell status, AC1 vs AC3.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, experiments.Table2) }
+
+// BenchmarkTable3 regenerates Table 3: one-directional mobiles.
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, experiments.Table3) }
+
+// BenchmarkFig14 regenerates Fig. 14: the two-day time-varying scenario
+// (one day at bench scale).
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, experiments.Fig14) }
+
+// BenchmarkBaselineExpDwell measures the §6 exponential-dwell baseline
+// comparison.
+func BenchmarkBaselineExpDwell(b *testing.B) { benchExperiment(b, experiments.BaselineExpDwell) }
+
+// BenchmarkBaselineMobSpec measures the §6 mobility-specification
+// baseline comparison.
+func BenchmarkBaselineMobSpec(b *testing.B) { benchExperiment(b, experiments.BaselineMobSpec) }
+
+// BenchmarkExtensionHints measures the §7 ITS/GPS path-informed
+// reservation extension.
+func BenchmarkExtensionHints(b *testing.B) { benchExperiment(b, experiments.ExtensionHints) }
+
+// BenchmarkExtensionWired measures the §2/§7 wired-reservation extension.
+func BenchmarkExtensionWired(b *testing.B) { benchExperiment(b, experiments.ExtensionWired) }
+
+// BenchmarkExtensionCDMA measures the §7 CDMA soft hand-off / soft
+// capacity extension.
+func BenchmarkExtensionCDMA(b *testing.B) { benchExperiment(b, experiments.ExtensionCDMA) }
+
+// BenchmarkIntegrationAdaptiveQoS measures the §1 adaptive-QoS
+// integration.
+func BenchmarkIntegrationAdaptiveQoS(b *testing.B) {
+	benchExperiment(b, experiments.IntegrationAdaptiveQoS)
+}
+
+// BenchmarkAblationStep measures the §4.2 T_est step-policy ablation.
+func BenchmarkAblationStep(b *testing.B) { benchExperiment(b, experiments.AblationStep) }
+
+// BenchmarkAblationNQuad measures the N_quad sensitivity ablation.
+func BenchmarkAblationNQuad(b *testing.B) { benchExperiment(b, experiments.AblationNQuad) }
+
+// BenchmarkAblationDropped measures the dropped-departure recording
+// ablation.
+func BenchmarkAblationDropped(b *testing.B) { benchExperiment(b, experiments.AblationDropped) }

@@ -1,0 +1,221 @@
+// Command cellsim runs one cellular-network simulation scenario from
+// flags and prints system-wide and per-cell results.
+//
+// Examples:
+//
+//	cellsim -policy ac3 -load 300 -rvo 1.0 -speed high -duration 20000
+//	cellsim -policy static -reserve 10 -load 150 -rvo 0.5
+//	cellsim -topology line -cells 10 -direction forward -policy ac1
+//	cellsim -topology hex -rows 4 -cols 5 -policy ac3 -persistence 0.8
+//	cellsim -schedule daily -days 2 -retry -policy ac3
+//	cellsim -policy ac3 -adaptive-video-min 1 -soft-overlap 5 -margin 8
+//	cellsim -policy exp-dwell -dwell-mean 35 -dwell-window 30
+//	cellsim -policy mob-spec -spec-horizon 5
+//	cellsim -backbone star -bs-link 40 -msc-link 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cellqos/internal/cellnet"
+	"cellqos/internal/core"
+	"cellqos/internal/mobility"
+	"cellqos/internal/predict"
+	"cellqos/internal/stats"
+	"cellqos/internal/topology"
+	"cellqos/internal/traffic"
+	"cellqos/internal/wired"
+)
+
+func main() {
+	var (
+		policyName  = flag.String("policy", "ac3", "admission policy: ac1|ac2|ac3|static|none")
+		reserve     = flag.Int("reserve", 10, "static reservation G in BUs (policy=static)")
+		load        = flag.Float64("load", 150, "offered load per cell in BUs (Eq. 7)")
+		rvo         = flag.Float64("rvo", 1.0, "voice ratio R_vo (voice=1 BU, video=4 BU)")
+		speed       = flag.String("speed", "high", "mobility: high (80-120 km/h) | low (40-60 km/h) | min,max")
+		topoName    = flag.String("topology", "ring", "topology: ring|line|hex")
+		cells       = flag.Int("cells", 10, "number of cells (ring/line)")
+		rows        = flag.Int("rows", 4, "hex rows")
+		cols        = flag.Int("cols", 5, "hex cols")
+		wrap        = flag.Bool("wrap", true, "wrap hex grid into a torus")
+		persistence = flag.Float64("persistence", 0.8, "hex walk direction persistence")
+		direction   = flag.String("direction", "random", "1-D travel direction: random|forward|backward")
+		capacity    = flag.Int("capacity", 100, "cell link capacity in BUs")
+		target      = flag.Float64("target", 0.01, "P_HD target")
+		duration    = flag.Float64("duration", 20000, "simulated seconds (constant schedule)")
+		schedName   = flag.String("schedule", "constant", "traffic schedule: constant|daily")
+		days        = flag.Int("days", 2, "days to simulate (schedule=daily)")
+		retry       = flag.Bool("retry", false, "enable the §5.3 blocked-request retry model")
+		seed        = flag.Uint64("seed", 1, "RNG seed")
+		perCell     = flag.Bool("per-cell", true, "print the per-cell table")
+
+		dwellMean   = flag.Float64("dwell-mean", 35, "exp-dwell baseline: assumed mean dwell τ (s)")
+		dwellWindow = flag.Float64("dwell-window", 30, "exp-dwell baseline: fixed estimation window T (s)")
+		specHorizon = flag.Int("spec-horizon", 2, "mob-spec baseline: pledge cells within this many hops")
+		adaptiveMin = flag.Int("adaptive-video-min", 0, "adaptive QoS: video minimum in BUs (0 = rigid)")
+		softOverlap = flag.Float64("soft-overlap", 0, "CDMA soft hand-off overlap window (s; 0 = off)")
+		margin      = flag.Int("margin", 0, "CDMA soft-capacity hand-off margin in BUs")
+		hints       = flag.Bool("hints", false, "ITS/GPS direction hints (§7)")
+		backboneK   = flag.String("backbone", "", "wired backbone: star|mesh (empty = none)")
+		bsLink      = flag.Int("bs-link", 200, "backbone: BS uplink capacity (BUs)")
+		mscLink     = flag.Int("msc-link", 1000, "backbone: MSC/gateway or inter-BS link capacity (BUs)")
+		anchor      = flag.Bool("anchor", false, "backbone: anchor-extend re-routing instead of full re-route")
+	)
+	flag.Parse()
+
+	cfg := cellnet.PaperBase()
+	cfg.Capacity = *capacity
+	cfg.PHDTarget = *target
+	cfg.StaticReserve = *reserve
+	cfg.Seed = *seed
+
+	switch strings.ToLower(*policyName) {
+	case "ac1":
+		cfg.Policy = core.AC1
+	case "ac2":
+		cfg.Policy = core.AC2
+	case "ac3":
+		cfg.Policy = core.AC3
+	case "static":
+		cfg.Policy = core.Static
+	case "none":
+		cfg.Policy = core.None
+	case "exp-dwell":
+		cfg.Policy = core.ExpDwell
+		cfg.ExpDwellMean = *dwellMean
+		cfg.ExpDwellWindow = *dwellWindow
+	case "mob-spec":
+		cfg.Policy = core.MobSpec
+		cfg.MobSpecHorizon = *specHorizon
+	default:
+		fatalf("unknown policy %q", *policyName)
+	}
+	if *adaptiveMin > 0 {
+		cfg.AdaptiveQoS = cellnet.AdaptiveQoSConfig{Enabled: true, VideoMinBUs: *adaptiveMin}
+	}
+	if *softOverlap > 0 {
+		cfg.SoftHandOff = cellnet.SoftHandOffConfig{Enabled: true, OverlapSeconds: *softOverlap}
+	}
+	cfg.HandOffMargin = *margin
+	cfg.DirectionHints = *hints
+
+	var sr mobility.SpeedRange
+	switch strings.ToLower(*speed) {
+	case "high":
+		sr = mobility.HighMobility
+	case "low":
+		sr = mobility.LowMobility
+	default:
+		if n, err := fmt.Sscanf(*speed, "%f,%f", &sr.MinKmh, &sr.MaxKmh); n != 2 || err != nil {
+			fatalf("bad -speed %q (want high, low, or min,max)", *speed)
+		}
+	}
+
+	var dir mobility.DirectionPolicy
+	switch strings.ToLower(*direction) {
+	case "random":
+		dir = mobility.RandomDirection
+	case "forward":
+		dir = mobility.ForwardOnly
+	case "backward":
+		dir = mobility.BackwardOnly
+	default:
+		fatalf("bad -direction %q", *direction)
+	}
+
+	switch strings.ToLower(*topoName) {
+	case "ring":
+		cfg.Topology = topology.Ring(*cells)
+		cfg.Mobility = &mobility.Linear{Top: cfg.Topology, DiameterKm: 1, Speed: sr, Direction: dir}
+	case "line":
+		cfg.Topology = topology.Line(*cells)
+		cfg.Mobility = &mobility.Linear{Top: cfg.Topology, DiameterKm: 1, Speed: sr, Direction: dir}
+	case "hex":
+		cfg.Topology = topology.Hex(*rows, *cols, *wrap)
+		cfg.Mobility = &mobility.HexWalk{Top: cfg.Topology, DiameterKm: 1, Speed: sr, Persistence: *persistence}
+	default:
+		fatalf("unknown topology %q", *topoName)
+	}
+
+	cfg.Mix = traffic.Mix{VoiceRatio: *rvo}
+	end := *duration
+	switch strings.ToLower(*schedName) {
+	case "constant":
+		cfg.Schedule = traffic.Constant{
+			Lambda: traffic.RateForLoad(*load, cfg.Mix, cfg.MeanLifetime),
+			MinKmh: sr.MinKmh, MaxKmh: sr.MaxKmh,
+		}
+	case "daily":
+		cfg.Schedule = traffic.PaperDay(cfg.Mix, cfg.MeanLifetime)
+		cfg.Estimation = predict.DailyConfig()
+		end = float64(*days) * traffic.SecondsPerDay
+	default:
+		fatalf("unknown schedule %q", *schedName)
+	}
+	if *retry {
+		cfg.Retry = traffic.PaperRetry
+	}
+	if *backboneK != "" {
+		strategy := wired.FullReroute
+		if *anchor {
+			strategy = wired.AnchorExtend
+		}
+		switch strings.ToLower(*backboneK) {
+		case "star":
+			cfg.Backbone = wired.StarOfMSCs(cfg.Topology, (cfg.Topology.NumCells()+4)/5, *bsLink, *mscLink, strategy)
+		case "mesh":
+			cfg.Backbone = wired.MeshOfBSs(cfg.Topology, *mscLink, *bsLink, strategy)
+		default:
+			fatalf("unknown backbone %q", *backboneK)
+		}
+	}
+
+	net, err := cellnet.New(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res := net.Run(end)
+
+	fmt.Printf("policy=%s topology=%s load=%.0f Rvo=%.2f speed=[%.0f,%.0f]km/h duration=%.0fs\n",
+		cfg.Policy, cfg.Topology.Kind(), *load, *rvo, sr.MinKmh, sr.MaxKmh, end)
+	fmt.Printf("requests=%d blocked=%d hand-offs=%d dropped=%d completed=%d exited=%d\n",
+		res.Total.Requested, res.Total.Blocked, res.Total.HandOffs, res.Total.Dropped,
+		res.Total.Completed, res.Total.Exited)
+	fmt.Printf("PCB=%s PHD=%s (target %.3g) Ncalc=%.3f avgBr=%.2f avgBu=%.2f exchanges=%d\n",
+		stats.FormatProb(res.PCB), stats.FormatProb(res.PHD), *target,
+		res.NCalc, res.AvgBr, res.AvgBu, res.Exchanges)
+	if *adaptiveMin > 0 {
+		fmt.Printf("adaptive QoS: avg degraded %.2f BU, %d downgrades, %d upgrades\n",
+			res.AvgDegraded, res.QoSDowngrades, res.QoSUpgrades)
+	}
+	if *softOverlap > 0 {
+		fmt.Printf("soft hand-off: %d saved in overlap, %d expired\n", res.SoftSaved, res.SoftExpired)
+	}
+	if cfg.Backbone != nil {
+		fmt.Printf("backbone: %d blocked, %d dropped, %d re-routes, %d BUs in use\n",
+			res.WiredBlocked, res.WiredDropped, res.WiredReroutes, res.WiredUsed)
+	}
+
+	if *perCell {
+		tb := stats.NewTable("Cell", "PCB", "PHD", "Test", "Br", "Bu", "avgBr", "avgBu")
+		for _, c := range res.Cells {
+			tb.AddRowStrings(
+				fmt.Sprintf("%d", c.ID+1),
+				stats.FormatProb(c.PCB), stats.FormatProb(c.PHD),
+				fmt.Sprintf("%.0f", c.Test), fmt.Sprintf("%.2f", c.Br),
+				fmt.Sprintf("%d", c.Bu),
+				fmt.Sprintf("%.2f", c.AvgBr), fmt.Sprintf("%.2f", c.AvgBu))
+		}
+		fmt.Println()
+		fmt.Print(tb.String())
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cellsim: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,128 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig8 [-duration 20000] [-seed 1] [-loads 60,100,150,200,250,300]
+//	experiments -run all [-out results/]
+//
+// Each experiment prints its qualitative paper claim followed by the
+// regenerated data as aligned tables; with -out, CSV files are written
+// alongside.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"cellqos/internal/experiments"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "", "experiment ID to run, or 'all'")
+		duration = flag.Float64("duration", 20000, "stationary run length (simulated seconds)")
+		traceDur = flag.Float64("trace-duration", 2000, "fig10/11 run length (simulated seconds)")
+		days     = flag.Int("days", 2, "fig14 run length (days)")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		loads    = flag.String("loads", "", "comma-separated offered loads (default 60,100,150,200,250,300)")
+		out      = flag.String("out", "", "directory to write CSV files into")
+		plotFlag = flag.Bool("plot", false, "render figure experiments as terminal charts")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -run <id>|all or -list required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := experiments.Options{
+		Duration:      *duration,
+		TraceDuration: *traceDur,
+		Days:          *days,
+		Seed:          *seed,
+	}
+	if *loads != "" {
+		for _, part := range strings.Split(*loads, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bad load %q: %v\n", part, err)
+				os.Exit(2)
+			}
+			opt.Loads = append(opt.Loads, v)
+		}
+	}
+
+	var todo []experiments.Experiment
+	if *run == "all" {
+		todo = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		rep := e.Run(opt)
+		fmt.Printf("=== %s — %s ===\n", rep.ID, rep.Title)
+		fmt.Printf("paper: %s\n\n", rep.PaperClaim)
+		for _, lt := range rep.Tables {
+			if lt.Label != "" {
+				fmt.Println(lt.Label)
+			}
+			fmt.Println(lt.Table.String())
+			if *out != "" {
+				if err := writeCSV(*out, rep.ID, lt); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		if *plotFlag {
+			for _, ch := range rep.Charts {
+				fmt.Println(ch.Render())
+			}
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", rep.ID, time.Since(start).Seconds())
+	}
+}
+
+func writeCSV(dir, id string, lt experiments.LabeledTable) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, strings.Trim(lt.Label, "() "))
+	name := id + ".csv"
+	if slug != "" {
+		name = id + "-" + slug + ".csv"
+	}
+	return os.WriteFile(filepath.Join(dir, name), []byte(lt.Table.CSV()), 0o644)
+}

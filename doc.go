@@ -1,0 +1,14 @@
+// Package cellqos is a reproduction of "Predictive and Adaptive
+// Bandwidth Reservation for Hand-Offs in QoS-Sensitive Cellular
+// Networks" (Choi & Shin, SIGCOMM 1998): per-cell hand-off mobility
+// estimation, predictive target-reservation bandwidth, adaptive
+// estimation-window control, and the AC1/AC2/AC3 admission-control
+// schemes, together with the discrete-event cellular-network simulator
+// the paper evaluates them on.
+//
+// See README.md for an overview, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record of every table and
+// figure. The top-level bench_test.go exposes one benchmark per
+// reproduced table/figure; cmd/experiments regenerates them from the
+// command line.
+package cellqos

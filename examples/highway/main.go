@@ -1,0 +1,74 @@
+// Highway: the scenario the paper's simulations model — cars on a
+// straight road crossing a string of 1-km cells. All traffic flows one
+// way (commuter direction), the offered load follows the rush-hour
+// schedule of Fig. 14(a), and blocked callers redial per §5.3.
+//
+// The example contrasts the mid-80s static guard-channel scheme with the
+// paper's AC3 during the morning peak: static reservation either wastes
+// bandwidth off-peak or under-protects at the peak, while AC3 adapts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cellqos/internal/cellnet"
+	"cellqos/internal/core"
+	"cellqos/internal/mobility"
+	"cellqos/internal/predict"
+	"cellqos/internal/stats"
+	"cellqos/internal/topology"
+	"cellqos/internal/traffic"
+)
+
+func run(policy core.Policy, reserve int) *cellnet.Result {
+	top := topology.Line(10) // an open highway segment; cars exit at the end
+	cfg := cellnet.PaperBase()
+	cfg.Topology = top
+	cfg.Policy = policy
+	cfg.StaticReserve = reserve
+	cfg.Estimation = predict.DailyConfig() // time-of-day windowed estimation
+	cfg.Mix = traffic.Mix{VoiceRatio: 0.8} // mostly voice, some video calls
+	cfg.Mobility = &mobility.Linear{
+		Top: top, DiameterKm: 1,
+		Speed:     mobility.HighMobility,
+		Direction: mobility.ForwardOnly, // commuter flow: everyone rides 1→10
+	}
+	cfg.Schedule = traffic.PaperDay(cfg.Mix, cfg.MeanLifetime)
+	cfg.Retry = traffic.PaperRetry
+	cfg.Seed = 7
+
+	net, err := cellnet.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return net.Run(12 * traffic.SecondsPerHour) // midnight through the morning peak
+}
+
+func main() {
+	fmt.Println("highway: 10 cells, one-way commuter flow, rush-hour schedule")
+	fmt.Println()
+
+	results := map[string]*cellnet.Result{
+		"static G=10": run(core.Static, 10),
+		"AC3":         run(core.AC3, 0),
+	}
+
+	for _, name := range []string{"static G=10", "AC3"} {
+		res := results[name]
+		fmt.Printf("--- %s ---\n", name)
+		tb := stats.NewTable("hour", "PCB", "PHD")
+		for h := 6; h < len(res.Hourly) && h < 12; h++ { // commute window
+			hc := res.Hourly[h]
+			tb.AddRowStrings(fmt.Sprintf("%02d:00", h),
+				stats.FormatProb(hc.PCB()), stats.FormatProb(hc.PHD()))
+		}
+		fmt.Print(tb.String())
+		fmt.Printf("whole morning: PCB=%s PHD=%s (target 0.01), avg reserved %.1f BUs\n\n",
+			stats.FormatProb(res.PCB), stats.FormatProb(res.PHD), res.AvgBr)
+	}
+
+	fmt.Println("AC3 keeps P_HD under the 0.01 target through the 9:00 peak by")
+	fmt.Println("reserving according to the estimated inflow from upstream cells;")
+	fmt.Println("the fixed guard band cannot adapt to the time-varying demand.")
+}

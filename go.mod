@@ -1,0 +1,3 @@
+module cellqos
+
+go 1.22

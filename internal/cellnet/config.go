@@ -1,0 +1,219 @@
+// Package cellnet assembles the full cellular-network simulation: it
+// wires the discrete-event kernel (internal/sim), topology, mobility and
+// traffic substrates to one core.Engine per cell, processes new-connection
+// requests, hand-offs, drops and completions, and collects the paper's
+// evaluation metrics.
+package cellnet
+
+import (
+	"fmt"
+
+	"cellqos/internal/core"
+	"cellqos/internal/mobility"
+	"cellqos/internal/predict"
+	"cellqos/internal/topology"
+	"cellqos/internal/traffic"
+	"cellqos/internal/wired"
+)
+
+// Config describes one simulation scenario.
+type Config struct {
+	// Topology is the cell adjacency graph.
+	Topology *topology.Topology
+	// Capacity is each cell's wireless link capacity in BUs (A6: 100).
+	Capacity int
+	// Policy is the admission-control scheme under test.
+	Policy core.Policy
+	// StaticReserve is G for the Static policy.
+	StaticReserve int
+	// PHDTarget is P_HD,target (0.01 in the paper).
+	PHDTarget float64
+	// TStart is the initial T_est (1 s in the paper).
+	TStart float64
+	// Step is the T_est adjustment policy (UnitStep in the paper).
+	Step core.StepPolicy
+	// Estimation configures the hand-off estimation functions.
+	Estimation predict.Config
+	// Calendar optionally routes weekday/weekend patterns.
+	Calendar predict.Calendar
+	// ExpDwellMean and ExpDwellWindow parameterize the core.ExpDwell
+	// baseline (assumed mean dwell τ and fixed estimation window T).
+	ExpDwellMean   float64
+	ExpDwellWindow float64
+	// Mobility mints mobile movement paths.
+	Mobility mobility.Model
+	// Mix is the voice/video class mixture (A3).
+	Mix traffic.Mix
+	// MeanLifetime is the mean connection lifetime in seconds (A5: 120).
+	MeanLifetime float64
+	// Schedule drives per-cell arrival rates and speed ranges over time.
+	Schedule traffic.Schedule
+	// Retry is the blocked-request retry behavior (§5.3).
+	Retry traffic.RetryPolicy
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Backbone, when non-nil, adds wired-link bandwidth reservation (the
+	// paper's §2/§7 extension): every connection also routes and reserves
+	// a path from its serving BS to a gateway; hand-offs re-route it.
+	// Wired shortfalls block new connections and drop hand-offs on top of
+	// the wireless admission tests.
+	Backbone *wired.Backbone
+	// AdaptiveQoS enables the §1 integration with adaptive-QoS schemes
+	// (refs [6,8]): video connections become elastic between VideoMinBUs
+	// and the full 4 BUs — cells downgrade them to absorb hand-offs and
+	// upgrade them when bandwidth frees; reservation uses minimum QoS.
+	AdaptiveQoS AdaptiveQoSConfig
+	// MobSpecHorizon sizes the core.MobSpec baseline's mobility
+	// specification: a new connection pledges its bandwidth in every
+	// cell within this many hops (default 2). Ignored by other policies.
+	MobSpecHorizon int
+	// HandOffMargin models CDMA soft capacity (§7): hand-offs may use up
+	// to Capacity+HandOffMargin BUs.
+	HandOffMargin int
+	// SoftHandOff enables the §7 CDMA soft hand-off extension: a mobile
+	// crossing into a full cell keeps its old-cell link for up to
+	// OverlapSeconds (macrodiversity in the overlap region) and the
+	// hand-off completes as soon as the new cell frees capacity; it
+	// drops only when the window expires.
+	SoftHandOff SoftHandOffConfig
+	// DirectionHints enables the paper's §7 ITS/GPS extension: every
+	// mobile's next cell is known from route guidance, so Eq. 5 only
+	// estimates the hand-off time and concentrates reservation on the
+	// known destination.
+	DirectionHints bool
+	// SkipDroppedDepartures, when set, excludes departures whose hand-off
+	// was dropped from the estimation functions. The default (false)
+	// records them: the movement happened even though the connection
+	// died, and the estimator models mobility, not admission.
+	SkipDroppedDepartures bool
+	// TraceCells lists cells whose T_est, B_r and cumulative P_HD are
+	// recorded over time (Figs. 10–11).
+	TraceCells []topology.CellID
+	// TraceMinGap thins trace series (seconds between kept points).
+	TraceMinGap float64
+}
+
+// AdaptiveQoSConfig parameterizes the adaptive-QoS integration.
+type AdaptiveQoSConfig struct {
+	Enabled bool
+	// VideoMinBUs is the minimum acceptable video bandwidth (1–4).
+	VideoMinBUs int
+}
+
+// Validate checks adaptive-QoS invariants.
+func (a AdaptiveQoSConfig) Validate() error {
+	if !a.Enabled {
+		return nil
+	}
+	if a.VideoMinBUs < 1 || a.VideoMinBUs > 4 {
+		return fmt.Errorf("cellnet: video minimum %d outside [1,4]", a.VideoMinBUs)
+	}
+	return nil
+}
+
+// SoftHandOffConfig parameterizes the CDMA soft hand-off extension.
+type SoftHandOffConfig struct {
+	Enabled bool
+	// OverlapSeconds is how long the mobile can hold both links (paper's
+	// "communicate via two adjacent BSs simultaneously for a while").
+	OverlapSeconds float64
+	// RetryInterval is how often the pending hand-off re-tests the new
+	// cell (default 0.5 s).
+	RetryInterval float64
+}
+
+// Validate checks soft hand-off invariants.
+func (s SoftHandOffConfig) Validate() error {
+	if !s.Enabled {
+		return nil
+	}
+	if s.OverlapSeconds <= 0 {
+		return fmt.Errorf("cellnet: soft hand-off needs positive overlap, got %v", s.OverlapSeconds)
+	}
+	if s.RetryInterval < 0 {
+		return fmt.Errorf("cellnet: negative soft hand-off retry interval")
+	}
+	return nil
+}
+
+// retryEvery returns the effective polling interval.
+func (s SoftHandOffConfig) retryEvery() float64 {
+	if s.RetryInterval > 0 {
+		return s.RetryInterval
+	}
+	return 0.5
+}
+
+// Validate checks scenario invariants.
+func (c Config) Validate() error {
+	if c.Topology == nil {
+		return fmt.Errorf("cellnet: nil topology")
+	}
+	if c.Capacity <= 0 {
+		return fmt.Errorf("cellnet: capacity %d", c.Capacity)
+	}
+	if c.Mobility == nil {
+		return fmt.Errorf("cellnet: nil mobility model")
+	}
+	if c.Schedule == nil {
+		return fmt.Errorf("cellnet: nil schedule")
+	}
+	if c.Mix.VoiceRatio < 0 || c.Mix.VoiceRatio > 1 {
+		return fmt.Errorf("cellnet: voice ratio %v", c.Mix.VoiceRatio)
+	}
+	if c.MeanLifetime <= 0 {
+		return fmt.Errorf("cellnet: mean lifetime %v", c.MeanLifetime)
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
+	}
+	if err := c.SoftHandOff.Validate(); err != nil {
+		return err
+	}
+	if err := c.AdaptiveQoS.Validate(); err != nil {
+		return err
+	}
+	for _, id := range c.TraceCells {
+		if !c.Topology.Valid(id) {
+			return fmt.Errorf("cellnet: trace cell %d out of range", id)
+		}
+	}
+	if c.Backbone != nil && c.Backbone.Cells() < c.Topology.NumCells() {
+		return fmt.Errorf("cellnet: backbone maps %d cells, topology has %d",
+			c.Backbone.Cells(), c.Topology.NumCells())
+	}
+	engCfg := c.engineConfig(0)
+	return engCfg.Validate()
+}
+
+// engineConfig derives the per-cell engine configuration.
+func (c Config) engineConfig(id topology.CellID) core.Config {
+	return core.Config{
+		Capacity:       c.Capacity,
+		Degree:         c.Topology.Degree(id),
+		Policy:         c.Policy,
+		StaticReserve:  c.StaticReserve,
+		PHDTarget:      c.PHDTarget,
+		TStart:         c.TStart,
+		Step:           c.Step,
+		Estimation:     c.Estimation,
+		Calendar:       c.Calendar,
+		ExpDwellMean:   c.ExpDwellMean,
+		ExpDwellWindow: c.ExpDwellWindow,
+		HandOffMargin:  c.HandOffMargin,
+	}
+}
+
+// PaperBase returns a config pre-filled with the paper's §5.1 constants
+// (capacity 100 BU, P_HD,target 0.01, T_start 1 s, N_quad 100, mean
+// lifetime 120 s, stationary estimation). Callers fill in topology,
+// policy, mobility, mix and schedule.
+func PaperBase() Config {
+	return Config{
+		Capacity:     100,
+		PHDTarget:    0.01,
+		TStart:       1,
+		Estimation:   predict.StationaryConfig(),
+		MeanLifetime: traffic.MeanLifetime,
+	}
+}

@@ -1,0 +1,580 @@
+package cellnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"cellqos/internal/core"
+	"cellqos/internal/mobility"
+	"cellqos/internal/predict"
+	"cellqos/internal/sim"
+	"cellqos/internal/stats"
+	"cellqos/internal/topology"
+	"cellqos/internal/traffic"
+	"cellqos/internal/wired"
+)
+
+// Trace records a cell's control state over time (Figs. 10–11).
+type Trace struct {
+	// Test is T_est after each hand-off arrival.
+	Test stats.Series
+	// Br is the target reservation bandwidth after each recomputation.
+	Br stats.Series
+	// PHD is the cumulative hand-off dropping probability after each
+	// hand-off arrival.
+	PHD stats.Series
+}
+
+// cell bundles one base station's engine with its metrics.
+type cell struct {
+	id       topology.CellID
+	engine   *core.Engine
+	peers    core.Peers
+	counters stats.Counters
+	hourly   stats.Hourly
+	brTW     stats.TimeWeighted
+	buTW     stats.TimeWeighted
+	degTW    stats.TimeWeighted // degraded adaptive-QoS bandwidth
+	// exchanges counts peer information exchanges initiated by this cell
+	// (each is one request/response round trip on the signaling network).
+	exchanges uint64
+	trace     *Trace
+}
+
+// connection is the network-level state of one mobile's connection.
+type connection struct {
+	id         core.ConnID
+	bw         int
+	cell       topology.CellID
+	prevInCell topology.LocalIndex // local index (in cell's space) of the previous cell
+	enteredAt  float64
+	diesAt     float64
+	path       mobility.Path
+	wpath      wired.Path        // reserved backbone path (when a Backbone is configured)
+	pledges    []topology.CellID // cells holding a MobSpec pledge for this connection
+	min, max   int               // QoS range; rigid connections have min == max == bw
+}
+
+// Network is a runnable cellular-network simulation.
+type Network struct {
+	cfg    Config
+	sim    *sim.Simulator
+	rng    *rand.Rand
+	cells  []*cell
+	conns  map[core.ConnID]*connection
+	nextID core.ConnID
+
+	// Soft hand-off outcome counters (§7 CDMA extension).
+	softSaved   uint64 // hand-offs completed within the overlap window
+	softExpired uint64 // pending hand-offs dropped at window expiry
+}
+
+// New builds a network from a validated config.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:   cfg,
+		sim:   sim.New(),
+		rng:   rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15)),
+		conns: make(map[core.ConnID]*connection),
+	}
+	num := cfg.Topology.NumCells()
+	n.cells = make([]*cell, num)
+	for i := 0; i < num; i++ {
+		id := topology.CellID(i)
+		c := &cell{id: id, engine: core.NewEngine(cfg.engineConfig(id))}
+		c.peers = &memPeers{n: n, c: c}
+		c.brTW.Set(0, c.engine.LastTargetReservation())
+		c.buTW.Set(0, 0)
+		n.cells[i] = c
+	}
+	for _, id := range cfg.TraceCells {
+		gap := cfg.TraceMinGap
+		n.cells[id].trace = &Trace{
+			Test: stats.Series{MinGap: gap},
+			Br:   stats.Series{MinGap: gap},
+			PHD:  stats.Series{MinGap: gap},
+		}
+	}
+	for _, c := range n.cells {
+		n.scheduleNextArrival(c)
+	}
+	if cfg.Policy.Adaptive() && !math.IsInf(cfg.Estimation.Tint, 1) {
+		// Periodically apply the §3.1 cache-deletion rule so long runs
+		// don't accumulate out-of-date quadruplets in idle pairs.
+		n.scheduleSweep(cfg.Estimation.Period)
+	}
+	return n, nil
+}
+
+// scheduleSweep books a recurring estimation-cache eviction pass.
+func (n *Network) scheduleSweep(period float64) {
+	n.sim.MustAfter(period, func(*sim.Simulator) {
+		t := n.sim.Now()
+		for _, c := range n.cells {
+			c.engine.SweepHistory(t)
+		}
+		n.scheduleSweep(period)
+	})
+}
+
+// MustNew is New for configs known to be valid; it panics on error.
+func MustNew(cfg Config) *Network {
+	n, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Now returns the simulation clock.
+func (n *Network) Now() float64 { return n.sim.Now() }
+
+// Engine exposes a cell's engine for tests and diagnostics.
+func (n *Network) Engine(id topology.CellID) *core.Engine { return n.cells[id].engine }
+
+// ActiveConnections returns the number of live connections system-wide.
+func (n *Network) ActiveConnections() int { return len(n.conns) }
+
+// EventsFired returns the number of simulation events executed.
+func (n *Network) EventsFired() uint64 { return n.sim.Fired() }
+
+// scheduleNextArrival books the cell's next Poisson new-connection
+// request from the schedule.
+func (n *Network) scheduleNextArrival(c *cell) {
+	at, ok := traffic.NextArrival(n.rng, n.cfg.Schedule, n.sim.Now())
+	if !ok {
+		return // no load ever again
+	}
+	if _, err := n.sim.At(at, func(*sim.Simulator) {
+		class := n.cfg.Mix.Sample(n.rng)
+		min, max := class.Bandwidth, class.Bandwidth
+		if n.cfg.AdaptiveQoS.Enabled && class == traffic.Video {
+			min = n.cfg.AdaptiveQoS.VideoMinBUs
+		}
+		n.request(c, min, max, 1)
+		n.scheduleNextArrival(c)
+	}); err != nil {
+		panic(err)
+	}
+}
+
+// request runs the admission test for a new connection needing at least
+// min and at most max BUs in cell c; nRet counts requests made so far by
+// this user (for the retry model). Admission — and reservation — is on
+// the minimum-QoS basis (§1).
+func (n *Network) request(c *cell, min, max, nRet int) {
+	now := n.sim.Now()
+	d := c.engine.AdmitNew(now, min, c.peers)
+	c.counters.RecordAdmissionTest(d.BrCalcs)
+	admitted := d.Admitted
+	var pledges []topology.CellID
+	if admitted && n.cfg.Policy == core.MobSpec {
+		// Ref. [14]-style baseline: pledge the bandwidth in every cell of
+		// the mobility specification, all-or-nothing.
+		pledges, admitted = n.pledgeSpec(c.id, min)
+	}
+	var wpath wired.Path
+	if admitted && n.cfg.Backbone != nil {
+		// Wired-link reservation (§2/§7 extension): the backbone must
+		// also carry the connection, or it blocks.
+		wpath, admitted = n.cfg.Backbone.Connect(c.id, min)
+	}
+	c.counters.RecordRequest(!admitted)
+	c.hourly.RecordRequest(now, !admitted)
+	n.noteBr(c, now)
+	if admitted {
+		n.establish(c, min, max, wpath, pledges)
+		return
+	}
+	if n.cfg.Retry.ShouldRetry(n.rng, nRet) {
+		n.sim.MustAfter(n.cfg.Retry.WaitSeconds, func(*sim.Simulator) {
+			n.request(c, min, max, nRet+1)
+		})
+	}
+}
+
+// pledgeSpec reserves bw in every cell within the MobSpec horizon of
+// start, rolling back on the first refusal.
+func (n *Network) pledgeSpec(start topology.CellID, bw int) ([]topology.CellID, bool) {
+	h := n.cfg.MobSpecHorizon
+	if h <= 0 {
+		h = 2
+	}
+	spec := n.cfg.Topology.WithinHops(start, h)
+	for i, id := range spec {
+		if !n.cells[id].engine.Pledge(bw) {
+			for _, back := range spec[:i] {
+				n.cells[back].engine.Unpledge(bw)
+			}
+			return nil, false
+		}
+	}
+	return spec, true
+}
+
+// dropPledge releases the connection's pledge at one cell, if any.
+func (n *Network) dropPledge(conn *connection, at topology.CellID) bool {
+	for i, id := range conn.pledges {
+		if id == at {
+			n.cells[id].engine.Unpledge(conn.min)
+			conn.pledges = append(conn.pledges[:i], conn.pledges[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// releasePledges frees every remaining pledge of a dying connection.
+func (n *Network) releasePledges(conn *connection) {
+	for _, id := range conn.pledges {
+		n.cells[id].engine.Unpledge(conn.min)
+	}
+	conn.pledges = nil
+}
+
+// establish creates an admitted connection in cell c.
+func (n *Network) establish(c *cell, min, max int, wpath wired.Path, pledges []topology.CellID) {
+	now := n.sim.Now()
+	n.nextID++
+	conn := &connection{
+		id:         n.nextID,
+		bw:         min,
+		min:        min,
+		max:        max,
+		cell:       c.id,
+		prevInCell: topology.Self,
+		enteredAt:  now,
+		diesAt:     now + traffic.Lifetime(n.rng, n.cfg.MeanLifetime),
+		path:       n.newPath(c.id),
+		wpath:      wpath,
+		pledges:    pledges,
+	}
+	n.conns[conn.id] = conn
+	hop, ok := conn.path.NextHop()
+	if min == max {
+		c.engine.AddConnectionWithHint(conn.id, min, topology.Self, now, n.hintFor(c.id, hop, ok))
+	} else {
+		conn.bw = c.engine.AddElasticConnection(conn.id, min, max, topology.Self, now)
+	}
+	n.noteBu(c, now)
+	n.scheduleDeparture(conn, hop, ok)
+}
+
+// hintFor converts a known upcoming hop into a §7 direction hint when
+// the scenario enables route-guidance information.
+func (n *Network) hintFor(cur topology.CellID, hop mobility.Hop, ok bool) topology.LocalIndex {
+	if !n.cfg.DirectionHints || !ok || hop.Next == topology.None {
+		return core.NoHint
+	}
+	li, found := n.cfg.Topology.LocalOf(cur, hop.Next)
+	if !found {
+		return core.NoHint
+	}
+	return li
+}
+
+// newPath mints a movement path honoring the schedule's current speed
+// range when the model supports it. A schedule that doesn't specify
+// speeds (zero range, e.g. a bare traffic.Constant{Lambda: …}) defers to
+// the model's own configured range.
+func (n *Network) newPath(start topology.CellID) mobility.Path {
+	if sa, ok := n.cfg.Mobility.(mobility.SpeedAware); ok {
+		lo, hi := n.cfg.Schedule.Speed(n.sim.Now())
+		if hi > 0 {
+			return sa.NewPathWithSpeed(n.rng, start, mobility.SpeedRange{MinKmh: lo, MaxKmh: hi})
+		}
+	}
+	return n.cfg.Mobility.NewPath(n.rng, start)
+}
+
+// scheduleDeparture books the single next event for a connection that
+// just entered its current cell: either the boundary crossing or, when
+// the connection dies first (or the mobile never moves), its natural
+// end. The hop has already been drawn from the path (the engine may
+// have consumed it as a direction hint).
+func (n *Network) scheduleDeparture(conn *connection, hop mobility.Hop, ok bool) {
+	now := n.sim.Now()
+	if ok && !math.IsInf(hop.Sojourn, 1) && now+hop.Sojourn < conn.diesAt {
+		n.sim.MustAfter(hop.Sojourn, func(*sim.Simulator) { n.onCrossing(conn.id, hop) })
+		return
+	}
+	n.sim.MustAfter(conn.diesAt-now, func(*sim.Simulator) { n.onLifetimeEnd(conn.id) })
+}
+
+// onCrossing processes a mobile reaching its cell boundary.
+func (n *Network) onCrossing(id core.ConnID, hop mobility.Hop) {
+	conn, ok := n.conns[id]
+	if !ok {
+		panic(fmt.Sprintf("cellnet: crossing for dead connection %d", id))
+	}
+	now := n.sim.Now()
+	from := n.cells[conn.cell]
+	tSoj := now - conn.enteredAt
+
+	if hop.Next == topology.None {
+		// The mobile leaves the coverage area (open-line border).
+		from.engine.RemoveConnection(id)
+		n.reclaim(from, now)
+		from.counters.Exited++
+		n.releaseWired(conn)
+		n.releasePledges(conn)
+		delete(n.conns, id)
+		return
+	}
+
+	to := n.cells[hop.Next]
+	nextLocal, okLocal := n.cfg.Topology.LocalOf(from.id, to.id)
+	if !okLocal {
+		panic(fmt.Sprintf("cellnet: crossing %d→%d between non-neighbors", from.id, to.id))
+	}
+	// A MobSpec pledge at the destination converts into used bandwidth.
+	n.dropPledge(conn, to.id)
+	admitted := to.engine.AdmitHandOff(conn.min)
+	if !admitted && n.cfg.AdaptiveQoS.Enabled {
+		// Adaptive QoS absorbs the hand-off by degrading existing
+		// connections toward their minima (§1).
+		admitted = to.engine.DowngradeToFit(conn.min)
+		n.noteBu(to, now)
+	}
+	if admitted && n.cfg.Backbone != nil {
+		// The backbone must re-route the wired path too, or the
+		// hand-off drops despite wireless capacity.
+		if wp, ok := n.cfg.Backbone.HandOff(conn.wpath, to.id, conn.min); ok {
+			conn.wpath = wp
+		} else {
+			admitted = false
+		}
+	}
+
+	// The departing cell observes the hand-off event (§3.1). Whether a
+	// dropped hand-off still counts as a mobility observation is an
+	// ablation toggle; the default records it.
+	if admitted || !n.cfg.SkipDroppedDepartures {
+		from.engine.RecordDeparture(predict.Quadruplet{
+			Event: now, Prev: conn.prevInCell, Next: nextLocal, Sojourn: tSoj,
+		})
+	}
+
+	if !admitted && n.cfg.SoftHandOff.Enabled {
+		// §7 CDMA soft hand-off: hold both links for up to the overlap
+		// window; the hand-off resolves (and is counted) later.
+		deadline := math.Min(now+n.cfg.SoftHandOff.OverlapSeconds, conn.diesAt)
+		n.scheduleSoftRetry(conn, from, to, deadline)
+		return
+	}
+
+	n.resolveHandOff(conn, from, to, admitted)
+	if !admitted {
+		return
+	}
+	n.enterCell(conn, from, to)
+}
+
+// resolveHandOff books a hand-off outcome: counters, the T_est
+// controller, traces, and teardown on a drop. The connection is removed
+// from its old cell either way.
+func (n *Network) resolveHandOff(conn *connection, from, to *cell, admitted bool) {
+	now := n.sim.Now()
+	to.counters.RecordHandOff(!admitted)
+	to.hourly.RecordHandOff(now, !admitted)
+	to.engine.NoteHandOffArrival(now, !admitted, to.peers)
+	if to.trace != nil {
+		to.trace.Test.Append(now, to.engine.Test())
+		to.trace.PHD.Append(now, to.counters.PHD())
+	}
+	from.engine.RemoveConnection(conn.id)
+	n.reclaim(from, now)
+	if !admitted {
+		n.releaseWired(conn)
+		n.releasePledges(conn)
+		delete(n.conns, conn.id) // hand-off drop: the connection dies
+	}
+}
+
+// reclaim lets degraded adaptive-QoS connections grow back into freed
+// bandwidth, then refreshes the cell's usage average.
+func (n *Network) reclaim(c *cell, now float64) {
+	if n.cfg.AdaptiveQoS.Enabled {
+		c.engine.RedistributeFree()
+	}
+	n.noteBu(c, now)
+}
+
+// enterCell completes a successful hand-off: the connection joins the
+// new cell and its next departure is scheduled.
+func (n *Network) enterCell(conn *connection, from, to *cell) {
+	now := n.sim.Now()
+	prevLocal, _ := n.cfg.Topology.LocalOf(to.id, from.id)
+	nextHop, okNext := conn.path.NextHop()
+	if conn.min == conn.max {
+		to.engine.AddConnectionWithHint(conn.id, conn.min, prevLocal, now, n.hintFor(to.id, nextHop, okNext))
+	} else {
+		conn.bw = to.engine.AddElasticConnection(conn.id, conn.min, conn.max, prevLocal, now)
+	}
+	n.noteBu(to, now)
+	conn.cell = to.id
+	conn.prevInCell = prevLocal
+	conn.enteredAt = now
+	if n.cfg.Policy == core.MobSpec {
+		// Ref. [14] keeps the specification reserved for the whole
+		// connection lifetime: the cell just left goes back on pledge
+		// (the mobile may revisit it, e.g. by looping around a ring).
+		// The bandwidth was freed this instant, so the pledge holds.
+		if from.engine.Pledge(conn.min) {
+			conn.pledges = append(conn.pledges, from.id)
+		}
+	}
+	n.scheduleDeparture(conn, nextHop, okNext)
+}
+
+// scheduleSoftRetry books the next capacity re-test of a pending soft
+// hand-off. While pending, the connection keeps its old-cell bandwidth
+// (macrodiversity in the overlap region) and no other events exist for it.
+func (n *Network) scheduleSoftRetry(conn *connection, from, to *cell, deadline float64) {
+	now := n.sim.Now()
+	next := math.Min(now+n.cfg.SoftHandOff.retryEvery(), deadline)
+	n.sim.MustAfter(next-now, func(*sim.Simulator) {
+		n.onSoftRetry(conn.id, from, to, deadline)
+	})
+}
+
+// onSoftRetry re-tests a pending soft hand-off.
+func (n *Network) onSoftRetry(id core.ConnID, from, to *cell, deadline float64) {
+	conn, ok := n.conns[id]
+	if !ok {
+		panic(fmt.Sprintf("cellnet: soft retry for dead connection %d", id))
+	}
+	now := n.sim.Now()
+	if now >= conn.diesAt {
+		// The call ended naturally while in the overlap region, still
+		// served by the old cell.
+		from.engine.RemoveConnection(id)
+		n.reclaim(from, now)
+		from.counters.Completed++
+		n.releaseWired(conn)
+		n.releasePledges(conn)
+		delete(n.conns, id)
+		return
+	}
+	// A MobSpec pledge at the destination converts into used bandwidth.
+	n.dropPledge(conn, to.id)
+	admitted := to.engine.AdmitHandOff(conn.min)
+	if !admitted && n.cfg.AdaptiveQoS.Enabled {
+		admitted = to.engine.DowngradeToFit(conn.min)
+		n.noteBu(to, now)
+	}
+	if admitted && n.cfg.Backbone != nil {
+		if wp, wok := n.cfg.Backbone.HandOff(conn.wpath, to.id, conn.min); wok {
+			conn.wpath = wp
+		} else {
+			admitted = false
+		}
+	}
+	if admitted {
+		n.softSaved++
+		n.resolveHandOff(conn, from, to, true)
+		n.enterCell(conn, from, to)
+		return
+	}
+	if now >= deadline {
+		n.softExpired++
+		n.resolveHandOff(conn, from, to, false)
+		return
+	}
+	n.scheduleSoftRetry(conn, from, to, deadline)
+}
+
+// onLifetimeEnd completes a connection naturally.
+func (n *Network) onLifetimeEnd(id core.ConnID) {
+	conn, ok := n.conns[id]
+	if !ok {
+		panic(fmt.Sprintf("cellnet: lifetime end for dead connection %d", id))
+	}
+	c := n.cells[conn.cell]
+	c.engine.RemoveConnection(id)
+	n.reclaim(c, n.sim.Now())
+	c.counters.Completed++
+	n.releaseWired(conn)
+	n.releasePledges(conn)
+	delete(n.conns, id)
+}
+
+// releaseWired frees a connection's backbone reservation, if any (the
+// backbone always carries the minimum-QoS bandwidth).
+func (n *Network) releaseWired(conn *connection) {
+	if n.cfg.Backbone != nil && conn.wpath.Valid() {
+		n.cfg.Backbone.Disconnect(conn.wpath, conn.min)
+	}
+}
+
+// noteBu updates a cell's used-bandwidth time average (and, when
+// adaptive QoS is on, the degradation average).
+func (n *Network) noteBu(c *cell, now float64) {
+	c.buTW.Set(now, float64(c.engine.UsedBandwidth()))
+	if n.cfg.AdaptiveQoS.Enabled {
+		c.degTW.Set(now, float64(c.engine.DegradedBandwidth()))
+	}
+}
+
+// noteBr updates a cell's target-reservation time average and trace.
+func (n *Network) noteBr(c *cell, now float64) {
+	br := c.engine.LastTargetReservation()
+	c.brTW.Set(now, br)
+	if c.trace != nil {
+		c.trace.Br.Append(now, br)
+	}
+}
+
+// memPeers implements core.Peers by direct in-process calls to neighbor
+// engines, counting one exchange per query (what a real deployment would
+// send over the Fig. 1 signaling network).
+type memPeers struct {
+	n *Network
+	c *cell
+}
+
+func (p *memPeers) neighbor(li topology.LocalIndex) *cell {
+	gid, ok := p.n.cfg.Topology.FromLocal(p.c.id, li)
+	if !ok {
+		panic(fmt.Sprintf("cellnet: bad local index %d for cell %d", li, p.c.id))
+	}
+	return p.n.cells[gid]
+}
+
+// OutgoingReservation implements core.Peers (Eq. 5 at the neighbor).
+func (p *memPeers) OutgoingReservation(li topology.LocalIndex, now, test float64) float64 {
+	p.c.exchanges++
+	nb := p.neighbor(li)
+	toward, ok := p.n.cfg.Topology.LocalOf(nb.id, p.c.id)
+	if !ok {
+		panic("cellnet: asymmetric neighborhood")
+	}
+	return nb.engine.OutgoingReservation(now, toward, test)
+}
+
+// Snapshot implements core.Peers.
+func (p *memPeers) Snapshot(li topology.LocalIndex) (int, int, float64) {
+	p.c.exchanges++
+	nb := p.neighbor(li)
+	return nb.engine.UsedBandwidth(), nb.engine.Capacity(), nb.engine.LastTargetReservation()
+}
+
+// RecomputeReservation implements core.Peers: the neighbor recomputes
+// its own B_r (Eq. 6) with its own T_est and peers.
+func (p *memPeers) RecomputeReservation(li topology.LocalIndex, now float64) (int, int, float64) {
+	p.c.exchanges++
+	nb := p.neighbor(li)
+	br := nb.engine.ComputeTargetReservation(now, nb.peers)
+	p.n.noteBr(nb, now)
+	return nb.engine.UsedBandwidth(), nb.engine.Capacity(), br
+}
+
+// MaxSojourn implements core.Peers.
+func (p *memPeers) MaxSojourn(li topology.LocalIndex, now float64) float64 {
+	p.c.exchanges++
+	return p.neighbor(li).engine.MaxSojourn(now)
+}

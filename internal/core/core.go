@@ -1,0 +1,755 @@
+// Package core implements the paper's predictive, adaptive bandwidth
+// reservation and admission control (§4): per-cell target reservation
+// bandwidth B_r computed from neighbors' mobility estimates (Eqs. 4–6),
+// the adaptive T_est window controller (Fig. 6), and the AC1/AC2/AC3
+// admission-control schemes plus the static-reservation and
+// no-reservation baselines (§4.3, Table 1).
+//
+// One Engine manages the QoS state of one cell. Engines reach their
+// neighbors only through the Peers interface, so the same logic runs
+// whether cells are wired directly in memory (internal/cellnet) or
+// communicate across a network (internal/signaling).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"cellqos/internal/predict"
+	"cellqos/internal/topology"
+)
+
+// Policy selects the admission-control scheme (paper Table 1).
+type Policy int
+
+const (
+	// AC1 checks only the current cell: admit iff
+	// B_u + b_new ≤ C − B_r, with B_r freshly computed.
+	AC1 Policy = iota
+	// AC2 additionally requires every adjacent cell to recompute its own
+	// B_r and have room to reserve it fully.
+	AC2
+	// AC3 is the hybrid: only adjacent cells that appear unable to
+	// reserve their previous target (B_u,i + B_r,i^prev > C_i) recompute
+	// and participate.
+	AC3
+	// Static reserves a fixed G BUs permanently (the mid-80s guard-
+	// channel baseline the paper compares against).
+	Static
+	// None performs no reservation at all: admit iff B_u + b_new ≤ C.
+	None
+	// MobSpec is a Talukdar/Badrinath/Acharya-style baseline (the paper's
+	// §6, ref. [14]): each admitted connection pledges its bandwidth in
+	// every cell of its declared mobility specification for its whole
+	// lifetime, so its hand-offs can never be dropped inside the spec.
+	// The paper criticizes the approach as "usually excessive"; the
+	// pledge fan-out is orchestrated by the network layer (the engine
+	// contributes the per-cell pledge pool and the admission arithmetic).
+	MobSpec
+	// ExpDwell is a Naghshineh–Schwartz-style baseline (the paper's §6,
+	// ref. [10]): it reserves for expected hand-offs like AC1 but models
+	// mobility analytically instead of from history — every connection's
+	// remaining dwell is assumed exponential with mean ExpDwellMean, and
+	// its direction uniform over the cell's neighbors, over a fixed
+	// estimation window ExpDwellWindow. The paper criticizes exactly
+	// these assumptions (§6): no direction prediction, impractical
+	// exponential sojourns, and no adaptation.
+	ExpDwell
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case AC1:
+		return "AC1"
+	case AC2:
+		return "AC2"
+	case AC3:
+		return "AC3"
+	case Static:
+		return "static"
+	case None:
+		return "none"
+	case MobSpec:
+		return "mob-spec"
+	case ExpDwell:
+		return "exp-dwell"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Adaptive reports whether the policy runs the predictive reservation
+// machinery (estimator + T_est controller).
+func (p Policy) Adaptive() bool { return p == AC1 || p == AC2 || p == AC3 }
+
+// ConnID identifies a connection within the whole system.
+type ConnID uint64
+
+// NoHint marks a connection without path/direction information.
+const NoHint topology.LocalIndex = -1
+
+// conn is the engine's per-connection QoS record. Rigid connections
+// have min == max == bw; adaptive-QoS connections (§1, refs [6,8]) may
+// be downgraded toward min to absorb hand-offs and upgraded back when
+// bandwidth frees.
+type conn struct {
+	id        ConnID
+	bw        int // currently granted bandwidth
+	min, max  int
+	prev      topology.LocalIndex // where the mobile came from (Self = born here)
+	enteredAt float64
+	hint      topology.LocalIndex // known next cell (ITS/GPS, §7), or NoHint
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Capacity is the cell's wireless link capacity C(i) in BUs
+	// (paper A6: 100).
+	Capacity int
+	// Degree is the number of adjacent cells.
+	Degree int
+	// Policy is the admission-control scheme.
+	Policy Policy
+	// StaticReserve is G, the permanent reservation of the Static policy.
+	StaticReserve int
+	// PHDTarget is P_HD,target (paper: 0.01). Used by adaptive policies.
+	PHDTarget float64
+	// TStart is the initial T_est in seconds (paper: 1).
+	TStart float64
+	// Step is the T_est adjustment policy (paper: UnitStep).
+	Step StepPolicy
+	// Estimation configures the hand-off estimation functions.
+	Estimation predict.Config
+	// Calendar routes quadruplets to weekday/weekend pattern sets; nil
+	// means a single weekday pattern.
+	Calendar predict.Calendar
+	// HandOffMargin models CDMA soft capacity (§7): hand-offs may intrude
+	// up to Capacity+HandOffMargin BUs (spending interference budget),
+	// while new connections still respect Capacity − B_r. Zero for the
+	// paper's FCA experiments.
+	HandOffMargin int
+	// ExpDwellMean is the assumed mean cell-dwell time τ in seconds for
+	// the ExpDwell baseline.
+	ExpDwellMean float64
+	// ExpDwellWindow is the ExpDwell baseline's fixed estimation window
+	// T in seconds (that scheme has no adaptive T_est).
+	ExpDwellWindow float64
+	// Lock, when non-nil, guards the engine's local state for concurrent
+	// deployments (internal/signaling): the engine acquires it around
+	// every local-state access but never across Peers calls, so a
+	// neighbor's query that arrives while this engine waits on a remote
+	// fan-out cannot deadlock. Leave nil for single-threaded use
+	// (internal/cellnet) — there is then zero locking overhead.
+	Lock sync.Locker
+}
+
+// Validate checks config invariants.
+func (c Config) Validate() error {
+	if c.Capacity <= 0 {
+		return fmt.Errorf("core: capacity must be positive, got %d", c.Capacity)
+	}
+	if c.Degree < 1 {
+		return fmt.Errorf("core: degree must be ≥ 1, got %d", c.Degree)
+	}
+	if c.Policy == Static && (c.StaticReserve < 0 || c.StaticReserve > c.Capacity) {
+		return fmt.Errorf("core: static reserve %d outside [0,%d]", c.StaticReserve, c.Capacity)
+	}
+	if c.Policy.Adaptive() {
+		if c.PHDTarget <= 0 || c.PHDTarget > 1 {
+			return fmt.Errorf("core: PHD target %v outside (0,1]", c.PHDTarget)
+		}
+		if c.TStart < 1 {
+			return fmt.Errorf("core: TStart %v below 1 s", c.TStart)
+		}
+		if err := c.Estimation.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.HandOffMargin < 0 {
+		return fmt.Errorf("core: negative hand-off margin %d", c.HandOffMargin)
+	}
+	if c.Policy == ExpDwell && (c.ExpDwellMean <= 0 || c.ExpDwellWindow <= 0) {
+		return fmt.Errorf("core: ExpDwell requires positive mean dwell and window, got τ=%v T=%v",
+			c.ExpDwellMean, c.ExpDwellWindow)
+	}
+	return nil
+}
+
+// Peers gives an Engine access to its adjacent cells. Local indices are
+// in this cell's space (1..Degree). Implementations decide how the
+// information travels (function calls, MSC star, BS full mesh) and are
+// responsible for counting messages.
+type Peers interface {
+	// OutgoingReservation asks neighbor li to evaluate Eq. 5 toward this
+	// cell: the expected bandwidth of its connections that will hand off
+	// here within test seconds, at time now.
+	OutgoingReservation(li topology.LocalIndex, now, test float64) float64
+	// Snapshot returns neighbor li's used bandwidth, capacity, and
+	// last-computed target reservation B_r^prev without recomputation.
+	Snapshot(li topology.LocalIndex) (used, capacity int, lastBr float64)
+	// RecomputeReservation makes neighbor li recompute its own B_r
+	// (updating its B_r^prev) and returns its used bandwidth, capacity
+	// and the fresh B_r.
+	RecomputeReservation(li topology.LocalIndex, now float64) (used, capacity int, br float64)
+	// MaxSojourn returns neighbor li's current T_soj,max (the largest
+	// sojourn in its hand-off estimation functions).
+	MaxSojourn(li topology.LocalIndex, now float64) float64
+}
+
+// Decision reports the outcome of an admission test.
+type Decision struct {
+	// Admitted says whether the new connection may be established.
+	Admitted bool
+	// BrCalcs is the number of target-reservation-bandwidth calculations
+	// the test required across all cells (the paper's N_calc sample).
+	BrCalcs int
+}
+
+// Engine is the per-cell QoS brain: connection table, hand-off
+// estimator, T_est controller, reservation computation, and admission
+// tests. It is not safe for concurrent use; the owning BS serializes.
+type Engine struct {
+	cfg Config
+	lk  sync.Locker // optional; see Config.Lock
+	// Connections live in a slice (stable, deterministic iteration order
+	// for the Eq. 5 float sums) with a map index for O(1) lookup;
+	// removal swaps with the last element.
+	conns []conn
+	index map[ConnID]int
+	used  int
+
+	// pledged is bandwidth promised to specific expected visitors (the
+	// MobSpec baseline); it blocks admissions like used bandwidth but
+	// converts to used when the pledged mobile arrives.
+	pledged int
+
+	patterns *predict.PatternSet
+	tc       *TestController
+	lastBr   float64 // B_r^prev: target reservation from the latest calculation
+	brCalcs  uint64  // lifetime count of Eq. 6 evaluations by this engine
+
+	downgrades uint64 // adaptive-QoS downgrade events
+	upgrades   uint64 // adaptive-QoS upgrade events
+}
+
+// NewEngine builds an Engine; it panics on invalid config.
+func NewEngine(cfg Config) *Engine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	e := &Engine{cfg: cfg, index: make(map[ConnID]int)}
+	e.lk = cfg.Lock
+	if cfg.Policy.Adaptive() {
+		e.patterns = predict.NewPatternSet(cfg.Estimation, cfg.Calendar)
+		e.tc = NewTestController(cfg.PHDTarget, cfg.TStart, cfg.Step)
+	}
+	if cfg.Policy == Static {
+		e.lastBr = float64(cfg.StaticReserve)
+	}
+	return e
+}
+
+// lock/unlock guard local state when a Locker is configured.
+func (e *Engine) lock() {
+	if e.lk != nil {
+		e.lk.Lock()
+	}
+}
+
+func (e *Engine) unlock() {
+	if e.lk != nil {
+		e.lk.Unlock()
+	}
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// UsedBandwidth returns B_u, the bandwidth of active connections.
+func (e *Engine) UsedBandwidth() int {
+	e.lock()
+	defer e.unlock()
+	return e.used
+}
+
+// PledgedBandwidth returns bandwidth pledged to expected visitors
+// (MobSpec baseline); 0 otherwise.
+func (e *Engine) PledgedBandwidth() int {
+	e.lock()
+	defer e.unlock()
+	return e.pledged
+}
+
+// Pledge reserves bw BUs for a specific expected hand-off (the MobSpec
+// baseline's per-connection reservation). It fails without side effects
+// when the cell cannot honor it.
+func (e *Engine) Pledge(bw int) bool {
+	if bw <= 0 {
+		panic(fmt.Sprintf("core: non-positive pledge %d", bw))
+	}
+	e.lock()
+	defer e.unlock()
+	if e.used+e.pledged+bw > e.cfg.Capacity {
+		return false
+	}
+	e.pledged += bw
+	return true
+}
+
+// Unpledge releases a pledge (the mobile arrived, ended, or left the
+// specification).
+func (e *Engine) Unpledge(bw int) {
+	e.lock()
+	defer e.unlock()
+	if bw > e.pledged {
+		panic(fmt.Sprintf("core: unpledging %d of %d", bw, e.pledged))
+	}
+	e.pledged -= bw
+}
+
+// Capacity returns the cell's link capacity C.
+func (e *Engine) Capacity() int { return e.cfg.Capacity }
+
+// ConnectionCount returns the number of active connections.
+func (e *Engine) ConnectionCount() int {
+	e.lock()
+	defer e.unlock()
+	return len(e.conns)
+}
+
+// Test returns the current estimation window T_est; 0 for non-adaptive
+// policies.
+func (e *Engine) Test() float64 {
+	if e.tc == nil {
+		return 0
+	}
+	e.lock()
+	defer e.unlock()
+	return e.tc.Test()
+}
+
+// Controller exposes the T_est controller for diagnostics (nil for
+// non-adaptive policies).
+func (e *Engine) Controller() *TestController { return e.tc }
+
+// Estimator exposes the estimator in force at time t (nil for
+// non-adaptive policies).
+func (e *Engine) Estimator(t float64) *predict.Estimator {
+	if e.patterns == nil {
+		return nil
+	}
+	return e.patterns.Estimator(t)
+}
+
+// LastTargetReservation returns B_r^prev, the most recently computed
+// target reservation bandwidth (G for Static, 0 for None).
+func (e *Engine) LastTargetReservation() float64 {
+	e.lock()
+	defer e.unlock()
+	return e.lastBr
+}
+
+// BrCalcCount returns how many times this engine evaluated Eq. 6.
+func (e *Engine) BrCalcCount() uint64 {
+	e.lock()
+	defer e.unlock()
+	return e.brCalcs
+}
+
+// AddConnection registers a connection occupying the cell: a freshly
+// admitted one (prev = topology.Self) or a hand-off arrival (prev = the
+// origin cell's local index). The caller must have verified capacity.
+func (e *Engine) AddConnection(id ConnID, bw int, prev topology.LocalIndex, now float64) {
+	e.AddConnectionWithHint(id, bw, prev, now, NoHint)
+}
+
+// AddConnectionWithHint is AddConnection for mobiles whose next cell is
+// already known from route guidance (the paper's §7 ITS/GPS extension):
+// Eq. 5 then only estimates the hand-off *time*, concentrating the
+// reserved bandwidth on the known destination. Pass NoHint when the
+// direction is unknown.
+func (e *Engine) AddConnectionWithHint(id ConnID, bw int, prev topology.LocalIndex, now float64, hint topology.LocalIndex) {
+	e.lock()
+	defer e.unlock()
+	if hint != NoHint && (hint < 1 || int(hint) > e.cfg.Degree) {
+		panic(fmt.Sprintf("core: hint %d outside neighbor range [1,%d]", hint, e.cfg.Degree))
+	}
+	if bw <= 0 {
+		panic(fmt.Sprintf("core: non-positive bandwidth %d", bw))
+	}
+	if _, dup := e.index[id]; dup {
+		panic(fmt.Sprintf("core: duplicate connection %d", id))
+	}
+	if e.used+e.pledged+bw > e.cfg.Capacity+e.cfg.HandOffMargin {
+		panic(fmt.Sprintf("core: adding %d BU over capacity (%d used, %d pledged, cap %d)",
+			bw, e.used, e.pledged, e.cfg.Capacity))
+	}
+	e.index[id] = len(e.conns)
+	e.conns = append(e.conns, conn{id: id, bw: bw, min: bw, max: bw, prev: prev, enteredAt: now, hint: hint})
+	e.used += bw
+}
+
+// AddElasticConnection registers an adaptive-QoS connection (§1): it
+// needs at least min BUs and can use up to max. The engine grants as
+// much of [min, max] as the link allows right now and returns the grant.
+// The caller must have verified that min fits (AdmitNew/AdmitHandOff
+// with bw = min).
+func (e *Engine) AddElasticConnection(id ConnID, min, max int, prev topology.LocalIndex, now float64) int {
+	if min <= 0 || max < min {
+		panic(fmt.Sprintf("core: bad elastic range [%d,%d]", min, max))
+	}
+	e.lock()
+	defer e.unlock()
+	if _, dup := e.index[id]; dup {
+		panic(fmt.Sprintf("core: duplicate connection %d", id))
+	}
+	room := e.cfg.Capacity + e.cfg.HandOffMargin - e.used - e.pledged
+	if room < min {
+		panic(fmt.Sprintf("core: elastic min %d over capacity (room %d)", min, room))
+	}
+	grant := max
+	if room < grant {
+		grant = room
+	}
+	e.index[id] = len(e.conns)
+	e.conns = append(e.conns, conn{id: id, bw: grant, min: min, max: max, prev: prev, enteredAt: now, hint: NoHint})
+	e.used += grant
+	return grant
+}
+
+// DowngradeToFit shrinks adaptive-QoS connections toward their minimum
+// until need BUs fit beside the existing load (hand-off absorption, the
+// "reducing hand-off drops" role of adaptive QoS). All-or-nothing: if
+// even full degradation cannot make room, nothing changes and it
+// returns false.
+func (e *Engine) DowngradeToFit(need int) bool {
+	if need <= 0 {
+		panic(fmt.Sprintf("core: non-positive need %d", need))
+	}
+	e.lock()
+	defer e.unlock()
+	limit := e.cfg.Capacity + e.cfg.HandOffMargin
+	short := e.used + e.pledged + need - limit
+	if short <= 0 {
+		return true
+	}
+	reclaimable := 0
+	for i := range e.conns {
+		reclaimable += e.conns[i].bw - e.conns[i].min
+	}
+	if reclaimable < short {
+		return false
+	}
+	for i := range e.conns {
+		if short <= 0 {
+			break
+		}
+		give := e.conns[i].bw - e.conns[i].min
+		if give > short {
+			give = short
+		}
+		e.conns[i].bw -= give
+		e.used -= give
+		short -= give
+	}
+	e.downgrades++
+	return true
+}
+
+// RedistributeFree upgrades degraded adaptive-QoS connections toward
+// their maxima using bandwidth not claimed by the target reservation
+// (the "upgrading QoS if possible" role). It returns the BUs restored.
+func (e *Engine) RedistributeFree() int {
+	e.lock()
+	defer e.unlock()
+	headroom := int(float64(e.cfg.Capacity) - e.lastBr)
+	free := headroom - e.used - e.pledged
+	restored := 0
+	for i := range e.conns {
+		if free <= 0 {
+			break
+		}
+		take := e.conns[i].max - e.conns[i].bw
+		if take > free {
+			take = free
+		}
+		if take > 0 {
+			e.conns[i].bw += take
+			e.used += take
+			free -= take
+			restored += take
+		}
+	}
+	if restored > 0 {
+		e.upgrades++
+	}
+	return restored
+}
+
+// DegradedBandwidth returns the total shortfall of adaptive-QoS
+// connections below their maxima (0 when everyone is at full quality).
+func (e *Engine) DegradedBandwidth() int {
+	e.lock()
+	defer e.unlock()
+	deg := 0
+	for i := range e.conns {
+		deg += e.conns[i].max - e.conns[i].bw
+	}
+	return deg
+}
+
+// QoSAdaptations returns lifetime (downgrade-events, upgrade-events).
+func (e *Engine) QoSAdaptations() (down, up uint64) {
+	e.lock()
+	defer e.unlock()
+	return e.downgrades, e.upgrades
+}
+
+// RemoveConnection deletes a connection (ended, handed off out, or
+// dropped) and frees its bandwidth.
+func (e *Engine) RemoveConnection(id ConnID) {
+	e.lock()
+	defer e.unlock()
+	i, ok := e.index[id]
+	if !ok {
+		panic(fmt.Sprintf("core: removing unknown connection %d", id))
+	}
+	e.used -= e.conns[i].bw
+	last := len(e.conns) - 1
+	if i != last {
+		e.conns[i] = e.conns[last]
+		e.index[e.conns[i].id] = i
+	}
+	e.conns = e.conns[:last]
+	delete(e.index, id)
+}
+
+// Connection returns a connection's bandwidth, origin and entry time.
+func (e *Engine) Connection(id ConnID) (bw int, prev topology.LocalIndex, enteredAt float64, ok bool) {
+	e.lock()
+	defer e.unlock()
+	i, found := e.index[id]
+	if !found {
+		return 0, 0, 0, false
+	}
+	c := e.conns[i]
+	return c.bw, c.prev, c.enteredAt, true
+}
+
+// RecordDeparture feeds a hand-off event quadruplet into the estimator
+// (no-op for non-adaptive policies).
+func (e *Engine) RecordDeparture(q predict.Quadruplet) {
+	if e.patterns == nil {
+		return
+	}
+	e.lock()
+	defer e.unlock()
+	e.patterns.Record(q)
+}
+
+// NoteHandOffArrival drives the T_est controller with one hand-off into
+// this cell. For drops it fetches T_soj,max from the neighbors via
+// peers (the controller's cap); successful hand-offs don't need it.
+func (e *Engine) NoteHandOffArrival(now float64, dropped bool, peers Peers) {
+	if e.tc == nil {
+		return
+	}
+	tSojMax := math.Inf(1)
+	if dropped {
+		// Remote fan-out happens before taking the local lock (see
+		// Config.Lock): a neighbor may query us while we gather.
+		tSojMax = 0
+		for li := topology.LocalIndex(1); int(li) <= e.cfg.Degree; li++ {
+			if m := peers.MaxSojourn(li, now); m > tSojMax {
+				tSojMax = m
+			}
+		}
+		if tSojMax == 0 {
+			// No estimation data anywhere yet: leave T_est free to grow.
+			tSojMax = math.Inf(1)
+		}
+	}
+	e.lock()
+	defer e.unlock()
+	e.tc.OnHandOff(dropped, tSojMax)
+}
+
+// OutgoingReservation evaluates Eq. 5 from this (sending) cell's side:
+// B_{this,toward} = Σ_j b(C_j) · p_h(C_j → toward within test), using
+// this cell's hand-off estimation functions and each connection's extant
+// sojourn time.
+func (e *Engine) OutgoingReservation(now float64, toward topology.LocalIndex, test float64) float64 {
+	if e.cfg.Policy == ExpDwell {
+		// Analytical model: P(hand-off within test) = 1 − e^(−test/τ),
+		// direction uniform over this cell's neighbors. The extant
+		// sojourn is irrelevant — the exponential is memoryless, which
+		// is precisely the assumption the paper rejects.
+		e.lock()
+		used := e.used
+		e.unlock()
+		p := (1 - math.Exp(-test/e.cfg.ExpDwellMean)) / float64(e.cfg.Degree)
+		return float64(used) * p
+	}
+	if e.patterns == nil {
+		return 0
+	}
+	e.lock()
+	defer e.unlock()
+	est := e.patterns.Estimator(now)
+	sum := 0.0
+	for _, c := range e.conns {
+		extSoj := now - c.enteredAt
+		if extSoj < 0 {
+			extSoj = 0
+		}
+		// Reservation is made on the basis of each connection's minimum
+		// QoS (§1: integration with adaptive-QoS schemes).
+		b := float64(c.min)
+		if c.hint != NoHint {
+			// §7 extension: the next cell is known; only the hand-off
+			// time is estimated.
+			if c.hint == toward {
+				sum += b * est.SojournProb(now, c.prev, c.hint, extSoj, test)
+			}
+			continue
+		}
+		sum += b * est.HandOffProb(now, c.prev, extSoj, test, toward)
+	}
+	return sum
+}
+
+// ComputeTargetReservation evaluates Eq. 6: B_r = Σ_{i∈A} B_{i,this},
+// asking each neighbor for its Eq. 5 contribution within this cell's
+// current T_est. It updates B_r^prev and counts one B_r calculation.
+// Non-adaptive policies return their fixed reservation.
+func (e *Engine) ComputeTargetReservation(now float64, peers Peers) float64 {
+	switch e.cfg.Policy {
+	case Static:
+		return float64(e.cfg.StaticReserve)
+	case None:
+		return 0
+	}
+	test := e.cfg.ExpDwellWindow // fixed window for the ExpDwell baseline
+	if e.tc != nil {
+		e.lock()
+		test = e.tc.Test()
+		e.unlock()
+	}
+	// Fan out to the neighbors without holding the local lock.
+	br := 0.0
+	for li := topology.LocalIndex(1); int(li) <= e.cfg.Degree; li++ {
+		br += peers.OutgoingReservation(li, now, test)
+	}
+	e.lock()
+	e.lastBr = br
+	e.brCalcs++
+	e.unlock()
+	return br
+}
+
+// committed returns used plus pledged bandwidth (what admissions must
+// clear) under the caller's lock discipline.
+func (e *Engine) committed() int {
+	e.lock()
+	defer e.unlock()
+	return e.used + e.pledged
+}
+
+// AdmitHandOff tests whether a hand-off of bw BUs fits: reserved
+// bandwidth is usable by hand-offs, so the only constraint is capacity
+// (including outstanding pledges) — plus the CDMA soft-capacity margin
+// when configured.
+func (e *Engine) AdmitHandOff(bw int) bool {
+	e.lock()
+	defer e.unlock()
+	return e.used+e.pledged+bw <= e.cfg.Capacity+e.cfg.HandOffMargin
+}
+
+// AdmitNew runs the policy's admission test for a new connection of bw
+// BUs requested at time now (paper §4.3). It recomputes B_r as required
+// by the policy but does not register the connection; call AddConnection
+// after a positive decision.
+func (e *Engine) AdmitNew(now float64, bw int, peers Peers) Decision {
+	if bw <= 0 {
+		panic(fmt.Sprintf("core: non-positive bandwidth %d", bw))
+	}
+	switch e.cfg.Policy {
+	case None:
+		return Decision{Admitted: e.committed()+bw <= e.cfg.Capacity}
+	case MobSpec:
+		// The own-cell test; the network layer additionally pledges the
+		// bandwidth across the mobility specification.
+		return Decision{Admitted: e.committed()+bw <= e.cfg.Capacity}
+	case Static:
+		return Decision{Admitted: e.committed()+bw <= e.cfg.Capacity-e.cfg.StaticReserve}
+	case AC1, ExpDwell:
+		br := e.ComputeTargetReservation(now, peers)
+		return Decision{
+			Admitted: float64(e.committed()+bw) <= float64(e.cfg.Capacity)-br,
+			BrCalcs:  1,
+		}
+	case AC2:
+		ok := true
+		calcs := 0
+		for li := topology.LocalIndex(1); int(li) <= e.cfg.Degree; li++ {
+			used, cap_, nbr := peers.RecomputeReservation(li, now)
+			calcs++
+			if float64(used) > float64(cap_)-nbr {
+				ok = false
+			}
+		}
+		br := e.ComputeTargetReservation(now, peers)
+		calcs++
+		if float64(e.committed()+bw) > float64(e.cfg.Capacity)-br {
+			ok = false
+		}
+		return Decision{Admitted: ok, BrCalcs: calcs}
+	case AC3:
+		ok := true
+		calcs := 0
+		for li := topology.LocalIndex(1); int(li) <= e.cfg.Degree; li++ {
+			used, cap_, lastBr := peers.Snapshot(li)
+			if float64(used)+lastBr <= float64(cap_) {
+				continue // neighbor appears able to reserve its target
+			}
+			usedNew, capNew, nbr := peers.RecomputeReservation(li, now)
+			calcs++
+			if float64(usedNew) > float64(capNew)-nbr {
+				ok = false
+			}
+		}
+		br := e.ComputeTargetReservation(now, peers)
+		calcs++
+		if float64(e.committed()+bw) > float64(e.cfg.Capacity)-br {
+			ok = false
+		}
+		return Decision{Admitted: ok, BrCalcs: calcs}
+	default:
+		panic(fmt.Sprintf("core: unknown policy %v", e.cfg.Policy))
+	}
+}
+
+// MaxSojourn returns this cell's current T_soj,max (largest selected
+// sojourn in its estimation functions); 0 for non-adaptive policies.
+func (e *Engine) MaxSojourn(now float64) float64 {
+	if e.patterns == nil {
+		return 0
+	}
+	e.lock()
+	defer e.unlock()
+	return e.patterns.MaxSojourn(now)
+}
+
+// SweepHistory evicts out-of-date quadruplets from the estimation
+// caches (the §3.1 deletion rule); the owner calls it periodically.
+// No-op for non-adaptive policies and infinite estimation intervals.
+func (e *Engine) SweepHistory(t float64) {
+	if e.patterns == nil {
+		return
+	}
+	e.lock()
+	defer e.unlock()
+	e.patterns.SweepAt(t)
+}

@@ -1,0 +1,223 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment is a named function from Options to a
+// Report of labeled tables; cmd/experiments runs them from the command
+// line and bench_test.go exposes each as a benchmark.
+//
+// Absolute numbers depend on run length and RNG, so each Report states
+// the paper's qualitative claim ("shape") that the regenerated data
+// should exhibit; EXPERIMENTS.md records a measured-vs-paper comparison.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"cellqos/internal/cellnet"
+	"cellqos/internal/core"
+	"cellqos/internal/mobility"
+	"cellqos/internal/plot"
+	"cellqos/internal/stats"
+	"cellqos/internal/topology"
+	"cellqos/internal/traffic"
+)
+
+// Options sizes the experiment runs. Zero values take paper-scale
+// defaults; tests and benchmarks shrink them.
+type Options struct {
+	// Duration is the simulated seconds per stationary run (default 20000).
+	Duration float64
+	// TraceDuration is the Fig. 10/11 run length (default 2000, as in the
+	// paper's plots).
+	TraceDuration float64
+	// Days is the Fig. 14 run length in days (default 2, as in §5.3).
+	Days int
+	// Loads is the offered-load sweep (default 60..300).
+	Loads []float64
+	// Seed drives all RNG.
+	Seed uint64
+}
+
+// withDefaults fills in zero fields.
+func (o Options) withDefaults() Options {
+	if o.Duration == 0 {
+		o.Duration = 20000
+	}
+	if o.TraceDuration == 0 {
+		o.TraceDuration = 2000
+	}
+	if o.Days == 0 {
+		o.Days = 2
+	}
+	if len(o.Loads) == 0 {
+		o.Loads = []float64{60, 100, 150, 200, 250, 300}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// LabeledTable pairs a table with its caption.
+type LabeledTable struct {
+	Label string
+	Table *stats.Table
+}
+
+// Report is one regenerated figure or table.
+type Report struct {
+	ID         string
+	Title      string
+	PaperClaim string // the qualitative shape the paper reports
+	Tables     []LabeledTable
+	// Charts render figure-type reports as terminal plots
+	// (cmd/experiments -plot).
+	Charts []*plot.Chart
+}
+
+// Experiment is a runnable reproduction unit.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) *Report
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig7", "P_CB/P_HD vs load, static reservation G=10", Fig7},
+		{"fig8", "P_CB/P_HD vs load, AC3", Fig8},
+		{"fig9", "Average B_r and B_u vs load, AC3", Fig9},
+		{"fig10", "T_est and B_r vs time, cells <5>,<6>", Fig10},
+		{"fig11", "Cumulative P_HD vs time, cells <5>,<6>", Fig11},
+		{"fig12", "P_CB/P_HD vs load, AC1 vs AC2 vs AC3", Fig12},
+		{"fig13", "Average N_calc vs load", Fig13},
+		{"table2", "Per-cell status at load 300, AC1 vs AC3", Table2},
+		{"table3", "Per-cell status, one-directional mobiles", Table3},
+		{"fig14", "Time-varying traffic/mobility over two days", Fig14},
+		{"baseline-expdwell", "AC3 vs exponential-dwell baseline (§6)", BaselineExpDwell},
+		{"baseline-mobspec", "AC3 vs mobility-spec reservation (§6)", BaselineMobSpec},
+		{"extension-hints", "§7 ITS/GPS path-informed reservation", ExtensionHints},
+		{"extension-wired", "§2/§7 wired-link reservation + re-routing", ExtensionWired},
+		{"extension-cdma", "§7 CDMA soft hand-off and soft capacity", ExtensionCDMA},
+		{"integration-adaptiveqos", "§1 adaptive-QoS integration", IntegrationAdaptiveQoS},
+		{"ablation-step", "T_est step policy ablation (§4.2)", AblationStep},
+		{"ablation-nquad", "N_quad sensitivity ablation", AblationNQuad},
+		{"ablation-dropped", "Recording dropped hand-off departures", AblationDropped},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// mobilityName labels the paper's two stationary speed ranges.
+func mobilityName(high bool) string {
+	if high {
+		return "high"
+	}
+	return "low"
+}
+
+func speedRange(high bool) mobility.SpeedRange {
+	if high {
+		return mobility.HighMobility
+	}
+	return mobility.LowMobility
+}
+
+// stationaryConfig builds the paper's §5.1 scenario: a 10-cell ring,
+// 1-km cells, constant Poisson load, bidirectional constant-speed
+// mobiles.
+func stationaryConfig(policy core.Policy, load, rvo float64, high bool, seed uint64) cellnet.Config {
+	top := topology.Ring(10)
+	cfg := cellnet.PaperBase()
+	cfg.Topology = top
+	cfg.Policy = policy
+	cfg.Mix = traffic.Mix{VoiceRatio: rvo}
+	sr := speedRange(high)
+	cfg.Mobility = &mobility.Linear{Top: top, DiameterKm: 1, Speed: sr}
+	cfg.Schedule = traffic.Constant{
+		Lambda: traffic.RateForLoad(load, cfg.Mix, cfg.MeanLifetime),
+		MinKmh: sr.MinKmh, MaxKmh: sr.MaxKmh,
+	}
+	cfg.Seed = seed
+	return cfg
+}
+
+// runStationary executes one stationary scenario.
+func runStationary(policy core.Policy, load, rvo float64, high bool, opt Options) *cellnet.Result {
+	cfg := stationaryConfig(policy, load, rvo, high, opt.Seed)
+	return cellnet.MustNew(cfg).Run(opt.Duration)
+}
+
+// mustRun builds and runs an explicit config.
+func mustRun(cfg cellnet.Config, duration float64) *cellnet.Result {
+	return cellnet.MustNew(cfg).Run(duration)
+}
+
+// mustNet builds a network for runs that need post-run engine access.
+func mustNet(cfg cellnet.Config) *cellnet.Network { return cellnet.MustNew(cfg) }
+
+// cellID converts for readability at call sites.
+func cellID(i int) topology.CellID { return topology.CellID(i) }
+
+// seriesGrid samples a trace on a uniform grid (sample-and-hold).
+func seriesGrid(s *stats.Series, end float64, step float64) []float64 {
+	var out []float64
+	for t := 0.0; t <= end; t += step {
+		v, _ := s.ValueAt(t)
+		out = append(out, v)
+	}
+	return out
+}
+
+// sortedLoads returns the option's loads ascending (defensive copy).
+func sortedLoads(opt Options) []float64 {
+	loads := append([]float64(nil), opt.Loads...)
+	sort.Float64s(loads)
+	return loads
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// probChart builds a log-y chart for probability-vs-load figures.
+func probChart(title string) *plot.Chart {
+	c := plot.New(title, "offered load (BU)", "probability (log)")
+	c.LogY = true
+	c.FloorY = 1e-5
+	return c
+}
+
+// seriesCollector accumulates named (x, y) series in insertion order.
+type seriesCollector struct {
+	order []string
+	data  map[string][2][]float64
+}
+
+func newCollector() *seriesCollector {
+	return &seriesCollector{data: make(map[string][2][]float64)}
+}
+
+func (sc *seriesCollector) add(name string, x, y float64) {
+	if _, ok := sc.data[name]; !ok {
+		sc.order = append(sc.order, name)
+	}
+	d := sc.data[name]
+	d[0] = append(d[0], x)
+	d[1] = append(d[1], y)
+	sc.data[name] = d
+}
+
+func (sc *seriesCollector) into(c *plot.Chart) *plot.Chart {
+	for _, name := range sc.order {
+		d := sc.data[name]
+		c.Add(name, d[0], d[1])
+	}
+	return c
+}

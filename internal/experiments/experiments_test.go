@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickOpt shrinks runs so the whole suite stays test-sized; shape
+// assertions are correspondingly lenient.
+func quickOpt() Options {
+	return Options{
+		Duration:      900,
+		TraceDuration: 600,
+		Days:          1,
+		Loads:         []float64{100, 300},
+		Seed:          7,
+	}
+}
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	opt := quickOpt()
+	opt.Days = 0 // fig14 is exercised separately (it dominates runtime)
+	for _, e := range All() {
+		if e.ID == "fig14" {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep := e.Run(opt)
+			if rep.ID != e.ID {
+				t.Fatalf("report ID %q != experiment ID %q", rep.ID, e.ID)
+			}
+			if rep.Title == "" || rep.PaperClaim == "" {
+				t.Fatal("report missing title or claim")
+			}
+			if len(rep.Tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, lt := range rep.Tables {
+				out := lt.Table.String()
+				if len(strings.Split(strings.TrimSpace(out), "\n")) < 3 {
+					t.Fatalf("table %q has no data rows:\n%s", lt.Label, out)
+				}
+				if csv := lt.Table.CSV(); !strings.Contains(csv, ",") {
+					t.Fatalf("CSV malformed: %s", csv)
+				}
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig8"); !ok {
+		t.Fatal("fig8 not found")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus experiment found")
+	}
+	// IDs are unique.
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+// parse helpers for table CSV assertions.
+func csvRows(tb LabeledTable) [][]string {
+	lines := strings.Split(strings.TrimSpace(tb.Table.CSV()), "\n")
+	var rows [][]string
+	for _, l := range lines[1:] {
+		rows = append(rows, strings.Split(l, ","))
+	}
+	return rows
+}
+
+func parseProb(s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestFig8ShapeAC3MeetsTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	opt := quickOpt()
+	opt.Duration = 3000
+	rep := Fig8(opt)
+	for _, lt := range rep.Tables {
+		for _, row := range csvRows(lt) {
+			if phd := parseProb(row[3]); phd > 0.02 {
+				t.Errorf("%s load=%s Rvo=%s: PHD %v far above target", lt.Label, row[0], row[1], phd)
+			}
+		}
+	}
+}
+
+func TestFig13ShapeNCalc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	rep := Fig13(quickOpt())
+	for _, lt := range rep.Tables {
+		for _, row := range csvRows(lt) {
+			nc := parseProb(row[2])
+			switch row[1] {
+			case "AC1":
+				if nc != 1 {
+					t.Errorf("AC1 Ncalc = %v, want 1", nc)
+				}
+			case "AC2":
+				if nc != 3 {
+					t.Errorf("AC2 Ncalc = %v, want 3", nc)
+				}
+			case "AC3":
+				if nc < 1 || nc > 3 {
+					t.Errorf("AC3 Ncalc = %v outside [1,3]", nc)
+				}
+			}
+		}
+	}
+}
+
+func TestFig9ShapeBrMonotoneBroadly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	opt := quickOpt()
+	opt.Loads = []float64{60, 300}
+	rep := Fig9(opt)
+	// Within each (mobility, Rvo) group, B_r at load 300 must exceed B_r
+	// at load 60 (monotone increase per the paper).
+	for _, lt := range rep.Tables {
+		rows := csvRows(lt)
+		for i := 0; i+1 < len(rows); i += 2 {
+			lo, hi := parseProb(rows[i][2]), parseProb(rows[i+1][2])
+			if rows[i][1] != rows[i+1][1] {
+				t.Fatalf("row pairing broken: %v / %v", rows[i], rows[i+1])
+			}
+			if hi <= lo {
+				t.Errorf("%s Rvo=%s: avgBr(300)=%v !> avgBr(60)=%v", lt.Label, rows[i][1], hi, lo)
+			}
+		}
+	}
+}
+
+func TestTable3ShapeCellOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	rep := Table3(quickOpt())
+	for _, lt := range rep.Tables {
+		rows := csvRows(lt)
+		if got := parseProb(rows[0][2]); got != 0 {
+			t.Errorf("%s: cell <1> PHD = %v, want 0 (no incoming hand-offs)", lt.Label, got)
+		}
+	}
+	// AC1's cell <1> accepts everything under one-way flow.
+	ac1 := csvRows(rep.Tables[0])
+	if got := parseProb(ac1[0][1]); got > 0.05 {
+		t.Errorf("AC1 cell <1> PCB = %v, paper reports 0", got)
+	}
+}
+
+func TestFig14Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long time-varying run")
+	}
+	opt := quickOpt()
+	rep := Fig14(opt)
+	if len(rep.Tables) != 2 {
+		t.Fatalf("fig14 tables = %d, want 2", len(rep.Tables))
+	}
+	probs := csvRows(rep.Tables[1])
+	if len(probs) < 24*3 {
+		t.Fatalf("fig14 probability rows = %d, want ≥ 72 (24h × 3 schemes)", len(probs))
+	}
+	// Night hours (hour 2) have negligible blocking for every scheme.
+	for _, row := range probs {
+		if row[0] == "2" {
+			if pcb := parseProb(row[2]); pcb > 0.1 {
+				t.Errorf("night-hour PCB = %v for %s", pcb, row[1])
+			}
+		}
+	}
+}

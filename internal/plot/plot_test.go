@@ -1,0 +1,128 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := New("P_CB vs load", "offered load", "probability")
+	c.Add("AC3", []float64{60, 100, 200, 300}, []float64{0.01, 0.1, 0.4, 0.7})
+	out := c.Render()
+	if !strings.Contains(out, "P_CB vs load") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* AC3") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "offered load") {
+		t.Fatal("x label missing")
+	}
+	if strings.Count(out, "*") < 4 {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := New("empty", "", "")
+	out := c.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart output:\n%s", out)
+	}
+}
+
+func TestRenderMultipleSeriesMarkers(t *testing.T) {
+	c := New("", "", "")
+	c.Add("a", []float64{0, 1}, []float64{0, 10})
+	c.Add("b", []float64{0, 1}, []float64{10, 0})
+	out := c.Render()
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Fatalf("per-series markers missing:\n%s", out)
+	}
+}
+
+func TestLogYAxisLabels(t *testing.T) {
+	c := New("", "", "")
+	c.LogY = true
+	c.Add("p", []float64{1, 2, 3}, []float64{0.0001, 0.01, 1})
+	out := c.Render()
+	// Tick labels back-transform to decades.
+	if !strings.Contains(out, "1") || !strings.Contains(out, "0.0001") {
+		t.Fatalf("log ticks missing:\n%s", out)
+	}
+}
+
+func TestLogYClampsNonPositive(t *testing.T) {
+	c := New("", "", "")
+	c.LogY = true
+	c.Add("p", []float64{1, 2}, []float64{0, 0.5}) // zero must clamp, not NaN
+	out := c.Render()
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("NaN leaked:\n%s", out)
+	}
+}
+
+func TestMismatchedSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched series did not panic")
+		}
+	}()
+	New("", "", "").Add("bad", []float64{1}, []float64{1, 2})
+}
+
+func TestConstantSeries(t *testing.T) {
+	c := New("", "", "")
+	c.Add("flat", []float64{1, 2, 3}, []float64{5, 5, 5})
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series invisible:\n%s", out)
+	}
+}
+
+func TestRenderDimensions(t *testing.T) {
+	c := New("", "", "")
+	c.Width, c.Height = 30, 8
+	c.Add("s", []float64{0, 1, 2}, []float64{1, 4, 9})
+	lines := strings.Split(strings.TrimRight(c.Render(), "\n"), "\n")
+	// 8 plot rows + axis + x labels + legend (no title/labels here... axis labels line appears only with labels).
+	if len(lines) != 8+3 {
+		t.Fatalf("line count = %d:\n%s", len(lines), c.Render())
+	}
+}
+
+// Property: Render never panics and always contains every series marker
+// for arbitrary finite data.
+func TestPropertyRenderTotal(t *testing.T) {
+	f := func(xs []float64, logy bool) bool {
+		// sanitize: drop NaN/Inf inputs, quick can generate extremes
+		clean := xs[:0]
+		for _, v := range xs {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				clean = append(clean, v)
+			}
+		}
+		xs = clean
+		c := New("t", "x", "y")
+		c.LogY = logy
+		ys := make([]float64, len(xs))
+		for i, v := range xs {
+			ys[i] = math.Abs(v) + 0.001
+		}
+		idx := make([]float64, len(xs))
+		for i := range idx {
+			idx[i] = float64(i)
+		}
+		c.Add("s", idx, ys)
+		out := c.Render()
+		if len(xs) == 0 {
+			return strings.Contains(out, "(no data)")
+		}
+		return strings.Contains(out, "* s") && strings.Contains(out, "*")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

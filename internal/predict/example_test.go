@@ -1,0 +1,35 @@
+package predict_test
+
+import (
+	"fmt"
+
+	"cellqos/internal/predict"
+)
+
+// A base station caches hand-off event quadruplets as mobiles leave its
+// cell, then answers Eq. 4 queries: how likely is a given connection to
+// hand off into a given neighbor within T_est seconds?
+func ExampleEstimator_HandOffProb() {
+	est := predict.New(predict.StationaryConfig())
+
+	// History: mobiles that entered from neighbor 1 usually continue to
+	// neighbor 2 after ~30 s; one slower mobile went back to 1 after 60 s.
+	for i := 0; i < 3; i++ {
+		est.Record(predict.Quadruplet{Event: float64(i), Prev: 1, Next: 2, Sojourn: 30})
+	}
+	est.Record(predict.Quadruplet{Event: 3, Prev: 1, Next: 1, Sojourn: 60})
+
+	// A connection from neighbor 1 has been here 10 s. Within the next
+	// 25 s only the 30-s sojourns can fire.
+	p := est.HandOffProb(100, 1, 10, 25, 2)
+	fmt.Printf("p_h(→2) = %.2f\n", p)
+
+	// After 40 s in the cell, the fast crowd is ruled out: the remaining
+	// evidence says it behaves like the slow mobile.
+	p = est.HandOffProb(100, 1, 40, 25, 1)
+	fmt.Printf("p_h(→1 | extant 40s) = %.2f\n", p)
+
+	// Output:
+	// p_h(→2) = 0.75
+	// p_h(→1 | extant 40s) = 1.00
+}

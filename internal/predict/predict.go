@@ -1,0 +1,565 @@
+// Package predict implements the paper's mobility estimation (§3): each
+// base station caches a hand-off event quadruplet (T_event, prev, next,
+// T_soj) for every mobile that hands off out of its cell, builds
+// *hand-off estimation functions* from the quadruplets that fall within
+// periodic daily windows, and answers Bayesian hand-off probability
+// queries (Eq. 4):
+//
+//	p_h(C → next) = P(next cell = next, T_soj ≤ T_ext-soj + T_est | T_soj > T_ext-soj)
+//
+// All cell references are in the owning cell's *local* index space
+// (topology.LocalIndex): prev/next are 0 for "this cell" (prev = 0 marks
+// a connection born here) and 1..deg for neighbors.
+//
+// One Estimator serves one cell and one day-pattern class (weekday or
+// weekend/holiday; see PatternSet). It is not safe for concurrent use.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"cellqos/internal/topology"
+)
+
+// Quadruplet is one observed hand-off departure (paper §3.1).
+type Quadruplet struct {
+	Event   float64             // T_event: when the mobile left this cell (s)
+	Prev    topology.LocalIndex // cell the mobile came from (Self = born here)
+	Next    topology.LocalIndex // cell the mobile entered (must be a neighbor)
+	Sojourn float64             // T_soj: time spent in this cell (s)
+}
+
+// Config holds the estimation-function design parameters of §3.1.
+type Config struct {
+	// Tint is the estimation interval T_int: quadruplets within
+	// [t0−T_int−n·Period, t0+T_int−n·Period) contribute with weight
+	// Weights[n]. math.Inf(1) (the paper's stationary-scenario choice)
+	// makes the single n=0 window cover all history.
+	Tint float64
+	// Period is T_day (86400 s) for weekday estimators or T_week for
+	// weekend ones. Ignored when Tint is infinite.
+	Period float64
+	// NwinPeriods is N_win-days: quadruplets older than
+	// NwinPeriods·Period + Tint are out of date.
+	NwinPeriods int
+	// Weights are w_0..w_NwinPeriods, non-increasing, w_0 ≤ 1. A nil
+	// slice means all-ones.
+	Weights []float64
+	// NQuad caps the number of quadruplets used per (prev, next) pair
+	// (the paper's N_quad, 100 in the experiments).
+	NQuad int
+	// RebuildEvery bounds index staleness for finite Tint: the windowed
+	// sample selection is recomputed when the query time has advanced
+	// more than this since the last rebuild (and always after Record).
+	// Zero means rebuild on every query-time change. Irrelevant for
+	// infinite Tint, where the selection only changes on Record.
+	RebuildEvery float64
+}
+
+// Validate checks config invariants.
+func (c Config) Validate() error {
+	if c.Tint <= 0 {
+		return fmt.Errorf("predict: Tint must be positive, got %v", c.Tint)
+	}
+	if c.NQuad < 1 {
+		return fmt.Errorf("predict: NQuad must be ≥ 1, got %d", c.NQuad)
+	}
+	if !math.IsInf(c.Tint, 1) {
+		if c.Period <= 0 {
+			return fmt.Errorf("predict: finite Tint requires positive Period")
+		}
+		if c.NwinPeriods < 0 {
+			return fmt.Errorf("predict: negative NwinPeriods")
+		}
+	}
+	w := c.weights()
+	for n := 1; n < len(w); n++ {
+		if w[n] > w[n-1] {
+			return fmt.Errorf("predict: weights must be non-increasing, got %v", w)
+		}
+	}
+	for _, v := range w {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("predict: weights must lie in [0,1], got %v", w)
+		}
+	}
+	return nil
+}
+
+// weights returns the effective weight vector (all ones when nil).
+func (c Config) weights() []float64 {
+	n := c.NwinPeriods
+	if math.IsInf(c.Tint, 1) {
+		n = 0
+	}
+	if c.Weights != nil {
+		return c.Weights
+	}
+	w := make([]float64, n+1)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// StationaryConfig is the configuration used for the paper's stationary
+// experiments (§5.2): T_int = ∞, N_quad = 100.
+func StationaryConfig() Config {
+	return Config{Tint: math.Inf(1), NQuad: 100}
+}
+
+// DailyConfig is the §5.3 time-varying configuration: T_int = 1 h,
+// N_win-days = 1, w_0 = w_1 = 1.
+func DailyConfig() Config {
+	return Config{
+		Tint:         3600,
+		Period:       86400,
+		NwinPeriods:  1,
+		Weights:      []float64{1, 1},
+		NQuad:        100,
+		RebuildEvery: 60,
+	}
+}
+
+type pairKey struct{ prev, next topology.LocalIndex }
+
+// searchEvent returns the first index in raw (sorted by event time) whose
+// event is ≥ t.
+func searchEvent(raw []sample, t float64) int {
+	lo, hi := 0, len(raw)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if raw[mid].event < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// sample is a cached quadruplet, reduced to what selection needs.
+type sample struct {
+	event, sojourn float64
+}
+
+// pairData is the cache and query index for one (prev, next) pair.
+type pairData struct {
+	raw []sample // ordered by event time (simulation time is monotone)
+
+	// Index over the currently selected (windowed, weighted, capped)
+	// samples, rebuilt lazily: sojourn times ascending with aligned
+	// cumulative weights; wCum[i] = Σ weight of sojSorted[0..i].
+	sojSorted []float64
+	wCum      []float64
+
+	// Per-pair index staleness: the selection is recomputed when dirty
+	// (a Record or eviction touched raw) or, for finite T_int, when the
+	// query time drifted past the staleness budget.
+	dirty    bool
+	builtAt  float64
+	hasIndex bool
+	maxSoj   float64 // largest selected sojourn
+}
+
+// totalWeight is the selected weight mass of the pair.
+func (p *pairData) totalWeight() float64 {
+	if len(p.wCum) == 0 {
+		return 0
+	}
+	return p.wCum[len(p.wCum)-1]
+}
+
+// weightAbove returns the selected weight with sojourn strictly greater
+// than x. The binary search is hand-rolled: this is the innermost loop of
+// every Eq. 4 evaluation and closure-based sort.Search shows up hot in
+// profiles.
+func (p *pairData) weightAbove(x float64) float64 {
+	s := p.sojSorted
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// lo is the first index with sojourn > x.
+	if lo == 0 {
+		return p.totalWeight()
+	}
+	if lo >= len(s) {
+		return 0
+	}
+	return p.totalWeight() - p.wCum[lo-1]
+}
+
+// weightIn returns the selected weight with sojourn in (lo, hi].
+func (p *pairData) weightIn(lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	return p.weightAbove(lo) - p.weightAbove(hi)
+}
+
+// Estimator accumulates quadruplets and answers Eq. 4 queries for one cell.
+type Estimator struct {
+	cfg     Config
+	weights []float64
+	pairs   map[pairKey]*pairData
+	byPrev  map[topology.LocalIndex][]*pairData // pairs grouped by prev
+	nexts   map[topology.LocalIndex][]topology.LocalIndex
+
+	recorded  uint64 // total quadruplets ever recorded
+	evicted   uint64 // total quadruplets dropped from the cache
+	lastEvent float64
+}
+
+// New builds an Estimator; it panics on invalid config (programmer error).
+func New(cfg Config) *Estimator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Estimator{
+		cfg:     cfg,
+		weights: cfg.weights(),
+		pairs:   make(map[pairKey]*pairData),
+		byPrev:  make(map[topology.LocalIndex][]*pairData),
+		nexts:   make(map[topology.LocalIndex][]topology.LocalIndex),
+	}
+}
+
+// Config returns the estimator's configuration.
+func (e *Estimator) Config() Config { return e.cfg }
+
+// Recorded returns the number of quadruplets ever recorded.
+func (e *Estimator) Recorded() uint64 { return e.recorded }
+
+// Evicted returns the number of quadruplets dropped by cache management.
+func (e *Estimator) Evicted() uint64 { return e.evicted }
+
+// Record caches a hand-off event quadruplet. Events must arrive in
+// non-decreasing T_event order (simulation time is monotone); Record
+// panics otherwise, and on negative sojourns.
+func (e *Estimator) Record(q Quadruplet) {
+	if q.Sojourn < 0 || math.IsNaN(q.Sojourn) {
+		panic(fmt.Sprintf("predict: bad sojourn %v", q.Sojourn))
+	}
+	if q.Event < e.lastEvent {
+		panic(fmt.Sprintf("predict: out-of-order event %v after %v", q.Event, e.lastEvent))
+	}
+	e.lastEvent = q.Event
+	k := pairKey{q.Prev, q.Next}
+	p := e.pairs[k]
+	if p == nil {
+		p = &pairData{}
+		e.pairs[k] = p
+		e.byPrev[q.Prev] = append(e.byPrev[q.Prev], p)
+		e.nexts[q.Prev] = append(e.nexts[q.Prev], q.Next)
+	}
+	p.raw = append(p.raw, sample{event: q.Event, sojourn: q.Sojourn})
+	e.recorded++
+	e.prune(p, q.Event)
+	p.dirty = true
+}
+
+// prune applies the paper's cache-management rules to one pair at the
+// current time t: (1) drop quadruplets past the retention horizon
+// (older than N_win·Period + T_int); (2) if the n=0 window alone already
+// holds more than N_quad samples, drop the oldest ones in it — "they are
+// unlikely to be used for the hand-off estimation function next day".
+func (e *Estimator) prune(p *pairData, t float64) {
+	if math.IsInf(e.cfg.Tint, 1) {
+		// Priority within the single infinite window is recency, so only
+		// the newest NQuad can ever be selected.
+		if excess := len(p.raw) - e.cfg.NQuad; excess > 0 {
+			p.raw = append(p.raw[:0], p.raw[excess:]...)
+			e.evicted += uint64(excess)
+		}
+		return
+	}
+	horizon := t - (float64(e.cfg.NwinPeriods)*e.cfg.Period + e.cfg.Tint)
+	drop := 0
+	for drop < len(p.raw) && p.raw[drop].event < horizon {
+		drop++
+	}
+	if drop > 0 {
+		p.raw = append(p.raw[:0], p.raw[drop:]...)
+		e.evicted += uint64(drop)
+	}
+	// Rule (2): count samples inside the current n=0 window [t−Tint, t].
+	lo := t - e.cfg.Tint
+	i := searchEvent(p.raw, lo)
+	if inWin := len(p.raw) - i; inWin > e.cfg.NQuad {
+		excess := inWin - e.cfg.NQuad
+		p.raw = append(p.raw[:i], p.raw[i+excess:]...)
+		e.evicted += uint64(excess)
+	}
+}
+
+// EvictBefore drops every cached quadruplet with event time before t.
+// The per-Record pruning only touches the pair being appended to; this
+// sweep lets the owner reclaim long-idle pairs (the paper's rule that
+// quadruplets unused for more than T_day + T_int may be deleted).
+func (e *Estimator) EvictBefore(t float64) {
+	for _, p := range e.pairs {
+		drop := 0
+		for drop < len(p.raw) && p.raw[drop].event < t {
+			drop++
+		}
+		if drop > 0 {
+			p.raw = append(p.raw[:0], p.raw[drop:]...)
+			e.evicted += uint64(drop)
+			p.dirty = true
+		}
+	}
+}
+
+// SweepAt drops every quadruplet that can no longer fall inside any
+// window at or after time t (older than N_win·Period + T_int) — the
+// paper's rule that out-of-date quadruplets "can be deleted from the
+// cache memory". No-op for infinite T_int, where per-Record pruning
+// already bounds the cache.
+func (e *Estimator) SweepAt(t float64) {
+	if math.IsInf(e.cfg.Tint, 1) {
+		return
+	}
+	e.EvictBefore(t - (float64(e.cfg.NwinPeriods)*e.cfg.Period + e.cfg.Tint))
+}
+
+// ensurePair rebuilds one pair's windowed selection for query time t0 if
+// it is missing or stale. Per-pair laziness keeps the common path — many
+// probability queries between occasional Records — cheap.
+func (e *Estimator) ensurePair(p *pairData, t0 float64) {
+	if p.hasIndex && !p.dirty {
+		if math.IsInf(e.cfg.Tint, 1) {
+			return // selection is time-independent between Records
+		}
+		if math.Abs(t0-p.builtAt) <= e.cfg.RebuildEvery {
+			return
+		}
+	}
+	e.rebuildPair(p, t0)
+}
+
+// ensurePrev refreshes every pair reachable from prev.
+func (e *Estimator) ensurePrev(prev topology.LocalIndex, t0 float64) {
+	for _, p := range e.byPrev[prev] {
+		e.ensurePair(p, t0)
+	}
+}
+
+// ensureAll refreshes every pair.
+func (e *Estimator) ensureAll(t0 float64) {
+	for _, p := range e.pairs {
+		e.ensurePair(p, t0)
+	}
+}
+
+// WeightedSample is one selected quadruplet with its window weight;
+// exposed for tests and diagnostics.
+type WeightedSample struct {
+	Sojourn float64
+	Weight  float64
+	Next    topology.LocalIndex
+}
+
+// rebuildPair recomputes one pair's capped weighted sample selection of
+// §3.1 at query time t0, then the sorted prefix-sum index used by
+// probability queries.
+func (e *Estimator) rebuildPair(p *pairData, t0 float64) {
+	p.builtAt = t0
+	p.hasIndex = true
+	p.dirty = false
+	p.maxSoj = 0
+	type ws struct{ soj, w float64 }
+	var sel []ws
+	{
+		if math.IsInf(e.cfg.Tint, 1) {
+			// Single window, unit weight, newest-first priority; prune
+			// already capped raw at NQuad.
+			for _, s := range p.raw {
+				sel = append(sel, ws{s.sojourn, e.weights[0]})
+			}
+		} else {
+			// Fill windows n = 0, 1, ... in priority order until NQuad.
+			type cand struct {
+				dist float64
+				soj  float64
+			}
+			var cands []cand
+			room := e.cfg.NQuad
+			for n := 0; n <= e.cfg.NwinPeriods && room > 0; n++ {
+				w := e.weights[n]
+				if w == 0 {
+					continue
+				}
+				center := t0 - float64(n)*e.cfg.Period
+				lo := t0 - e.cfg.Tint - float64(n)*e.cfg.Period
+				hi := t0 + e.cfg.Tint - float64(n)*e.cfg.Period
+				i := searchEvent(p.raw, lo)
+				cands = cands[:0]
+				for ; i < len(p.raw) && p.raw[i].event < hi; i++ {
+					s := p.raw[i]
+					if s.event > t0 { // future events cannot exist, but guard
+						break
+					}
+					cands = append(cands, cand{dist: math.Abs(s.event - center), soj: s.sojourn})
+				}
+				// Second-level priority: smaller |T_event − (t0 − n·T_day)|,
+				// i.e. closest to the same time-of-day, first.
+				slices.SortFunc(cands, func(a, b cand) int {
+					switch {
+					case a.dist < b.dist:
+						return -1
+					case a.dist > b.dist:
+						return 1
+					default:
+						return 0
+					}
+				})
+				for _, c := range cands {
+					if room == 0 {
+						break
+					}
+					sel = append(sel, ws{c.soj, w})
+					room--
+				}
+			}
+		}
+	}
+	// Build the sorted sojourn index with cumulative weights.
+	slices.SortFunc(sel, func(a, b ws) int {
+		switch {
+		case a.soj < b.soj:
+			return -1
+		case a.soj > b.soj:
+			return 1
+		default:
+			return 0
+		}
+	})
+	p.sojSorted = p.sojSorted[:0]
+	p.wCum = p.wCum[:0]
+	cum := 0.0
+	for _, s := range sel {
+		cum += s.w
+		p.sojSorted = append(p.sojSorted, s.soj)
+		p.wCum = append(p.wCum, cum)
+	}
+	if len(sel) > 0 {
+		p.maxSoj = p.sojSorted[len(p.sojSorted)-1]
+	}
+}
+
+// HandOffProb evaluates Eq. 4: the probability that a connection that
+// entered this cell from prev, with extant sojourn time extSoj, hands off
+// into next within test seconds. It returns 0 (estimated stationary)
+// when no selected quadruplet from prev has a sojourn exceeding extSoj.
+func (e *Estimator) HandOffProb(t0 float64, prev topology.LocalIndex, extSoj, test float64, next topology.LocalIndex) float64 {
+	e.ensurePrev(prev, t0)
+	den := 0.0
+	for _, p := range e.byPrev[prev] {
+		den += p.weightAbove(extSoj)
+	}
+	if den == 0 {
+		return 0
+	}
+	num := e.pairs[pairKey{prev, next}]
+	if num == nil {
+		return 0
+	}
+	return num.weightIn(extSoj, extSoj+test) / den
+}
+
+// HandOffProbs returns p_h for every next cell seen from prev, as a map.
+// Shares one denominator computation across nexts.
+func (e *Estimator) HandOffProbs(t0 float64, prev topology.LocalIndex, extSoj, test float64) map[topology.LocalIndex]float64 {
+	e.ensurePrev(prev, t0)
+	den := 0.0
+	for _, p := range e.byPrev[prev] {
+		den += p.weightAbove(extSoj)
+	}
+	out := make(map[topology.LocalIndex]float64, len(e.nexts[prev]))
+	if den == 0 {
+		return out
+	}
+	for i, next := range e.nexts[prev] {
+		p := e.byPrev[prev][i]
+		if v := p.weightIn(extSoj, extSoj+test) / den; v > 0 {
+			out[next] = v
+		}
+	}
+	return out
+}
+
+// SojournProb evaluates the conditional sojourn distribution for a
+// mobile whose next cell is already known (the paper's §7 ITS/GPS
+// extension: "the mobility estimation function is used to estimate the
+// sojourn time of a mobile only"): P(T_soj ≤ extSoj + test | T_soj >
+// extSoj) over the (prev, next) pair's samples, falling back to the
+// prev-marginal distribution when that pair has no usable history.
+func (e *Estimator) SojournProb(t0 float64, prev, next topology.LocalIndex, extSoj, test float64) float64 {
+	e.ensurePrev(prev, t0)
+	if p := e.pairs[pairKey{prev, next}]; p != nil {
+		if den := p.weightAbove(extSoj); den > 0 {
+			return p.weightIn(extSoj, extSoj+test) / den
+		}
+	}
+	den, num := 0.0, 0.0
+	for _, p := range e.byPrev[prev] {
+		den += p.weightAbove(extSoj)
+		num += p.weightIn(extSoj, extSoj+test)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// MaxSojourn returns the largest sojourn among currently selected
+// quadruplets (the paper's T_soj,max ingredient for capping T_est).
+// Zero when the estimator has no usable samples.
+func (e *Estimator) MaxSojourn(t0 float64) float64 {
+	e.ensureAll(t0)
+	max := 0.0
+	for _, p := range e.pairs {
+		if p.maxSoj > max {
+			max = p.maxSoj
+		}
+	}
+	return max
+}
+
+// SelectedCount returns the number of quadruplets in the current
+// selection (for diagnostics and tests).
+func (e *Estimator) SelectedCount(t0 float64) int {
+	e.ensureAll(t0)
+	n := 0
+	for _, p := range e.pairs {
+		n += len(p.sojSorted)
+	}
+	return n
+}
+
+// Selected returns the current weighted selection for a given prev, in
+// ascending sojourn order. Intended for tests and diagnostics.
+func (e *Estimator) Selected(t0 float64, prev topology.LocalIndex) []WeightedSample {
+	e.ensurePrev(prev, t0)
+	var out []WeightedSample
+	for i, p := range e.byPrev[prev] {
+		next := e.nexts[prev][i]
+		prevCum := 0.0
+		for j, soj := range p.sojSorted {
+			w := p.wCum[j] - prevCum
+			prevCum = p.wCum[j]
+			out = append(out, WeightedSample{Sojourn: soj, Weight: w, Next: next})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Sojourn < out[b].Sojourn })
+	return out
+}

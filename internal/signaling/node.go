@@ -1,0 +1,181 @@
+package signaling
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"cellqos/internal/core"
+	"cellqos/internal/topology"
+)
+
+// BSNode hosts one cell's reservation engine and speaks the signaling
+// protocol: it answers neighbors' queries against its engine and
+// implements core.Peers for its own engine by querying neighbors over
+// attached links (directly in a mesh, via the MSC in a star).
+//
+// The engine is guarded by the node's mutex (passed as core.Config.Lock),
+// which the engine releases across remote fan-outs — so a neighbor's
+// query arriving while this node waits on that neighbor cannot deadlock.
+type BSNode struct {
+	id     topology.CellID
+	top    *topology.Topology
+	mu     sync.Mutex // engine state lock (see core.Config.Lock)
+	engine *core.Engine
+
+	linkMu sync.Mutex
+	links  map[NodeID]*Peer
+
+	// remoteErrs counts failed peer calls answered with conservative
+	// defaults (0 reservation / healthy snapshot).
+	remoteErrs atomic.Uint64
+}
+
+// NewBSNode builds a node for cell id. The config's Degree and Lock are
+// filled in from the topology and the node's own mutex.
+func NewBSNode(id topology.CellID, top *topology.Topology, cfg core.Config) *BSNode {
+	n := &BSNode{id: id, top: top, links: make(map[NodeID]*Peer)}
+	cfg.Degree = top.Degree(id)
+	cfg.Lock = &n.mu
+	n.engine = core.NewEngine(cfg)
+	return n
+}
+
+// ID returns the node's cell ID.
+func (n *BSNode) ID() topology.CellID { return n.id }
+
+// Engine exposes the node's engine (connection management, admission).
+func (n *BSNode) Engine() *core.Engine { return n.engine }
+
+// RemoteErrors returns the count of peer queries that failed and were
+// substituted with conservative defaults.
+func (n *BSNode) RemoteErrors() uint64 { return n.remoteErrs.Load() }
+
+// Attach wires a connection to a remote node (a neighbor BS in a mesh,
+// or the MSC in a star) and starts answering its queries. It returns the
+// peer link, whose Stats count this link's traffic.
+func (n *BSNode) Attach(remote NodeID, conn io.ReadWriteCloser) *Peer {
+	p := NewPeer(conn, n.handle)
+	n.linkMu.Lock()
+	n.links[remote] = p
+	n.linkMu.Unlock()
+	return p
+}
+
+// Close tears down every link.
+func (n *BSNode) Close() {
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
+	for id, p := range n.links {
+		p.Close()
+		delete(n.links, id)
+	}
+}
+
+// linkFor resolves the link that reaches cell nb: a direct mesh link if
+// present, otherwise the MSC relay.
+func (n *BSNode) linkFor(nb NodeID) *Peer {
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
+	if p, ok := n.links[nb]; ok {
+		return p
+	}
+	return n.links[MSCNode]
+}
+
+// handle answers one incoming request against the local engine.
+func (n *BSNode) handle(req Message) Message {
+	switch req.Type {
+	case MsgOutgoing:
+		from := topology.CellID(req.From)
+		toward, ok := n.top.LocalOf(n.id, from)
+		if !ok {
+			return Message{Type: MsgError, U1: 2}
+		}
+		return Message{F1: n.engine.OutgoingReservation(req.Now, toward, req.Test)}
+	case MsgSnapshot:
+		return Message{
+			U1: uint32(n.engine.UsedBandwidth()),
+			U2: uint32(n.engine.Capacity()),
+			F1: n.engine.LastTargetReservation(),
+		}
+	case MsgRecompute:
+		br := n.engine.ComputeTargetReservation(req.Now, n.Peers())
+		return Message{
+			U1: uint32(n.engine.UsedBandwidth()),
+			U2: uint32(n.engine.Capacity()),
+			F1: br,
+		}
+	case MsgMaxSojourn:
+		return Message{F1: n.engine.MaxSojourn(req.Now)}
+	default:
+		return Message{Type: MsgError, U1: 3}
+	}
+}
+
+// Peers returns the node's remote view of its neighbors, for passing to
+// Engine.AdmitNew / ComputeTargetReservation / NoteHandOffArrival.
+func (n *BSNode) Peers() core.Peers { return remotePeers{n} }
+
+// remotePeers implements core.Peers over signaling links.
+type remotePeers struct{ n *BSNode }
+
+func (r remotePeers) call(li topology.LocalIndex, req Message) (Message, bool) {
+	nb, ok := r.n.top.FromLocal(r.n.id, li)
+	if !ok {
+		panic(fmt.Sprintf("signaling: bad local index %d at cell %d", li, r.n.id))
+	}
+	req.From = NodeID(r.n.id)
+	req.To = NodeID(nb)
+	link := r.n.linkFor(req.To)
+	if link == nil {
+		r.n.remoteErrs.Add(1)
+		return Message{}, false
+	}
+	resp, err := link.Call(req)
+	if err != nil {
+		r.n.remoteErrs.Add(1)
+		return Message{}, false
+	}
+	return resp, true
+}
+
+// OutgoingReservation implements core.Peers; an unreachable neighbor
+// contributes no reservation.
+func (r remotePeers) OutgoingReservation(li topology.LocalIndex, now, test float64) float64 {
+	resp, ok := r.call(li, Message{Type: MsgOutgoing, Now: now, Test: test})
+	if !ok {
+		return 0
+	}
+	return resp.F1
+}
+
+// Snapshot implements core.Peers; an unreachable neighbor reads as
+// healthy (AC3 then skips it).
+func (r remotePeers) Snapshot(li topology.LocalIndex) (int, int, float64) {
+	resp, ok := r.call(li, Message{Type: MsgSnapshot})
+	if !ok {
+		return 0, int(^uint32(0) >> 1), 0
+	}
+	return int(resp.U1), int(resp.U2), resp.F1
+}
+
+// RecomputeReservation implements core.Peers.
+func (r remotePeers) RecomputeReservation(li topology.LocalIndex, now float64) (int, int, float64) {
+	resp, ok := r.call(li, Message{Type: MsgRecompute, Now: now})
+	if !ok {
+		return 0, int(^uint32(0) >> 1), 0
+	}
+	return int(resp.U1), int(resp.U2), resp.F1
+}
+
+// MaxSojourn implements core.Peers.
+func (r remotePeers) MaxSojourn(li topology.LocalIndex, now float64) float64 {
+	resp, ok := r.call(li, Message{Type: MsgMaxSojourn, Now: now})
+	if !ok {
+		return math.Inf(1) // leave T_est uncapped rather than frozen
+	}
+	return resp.F1
+}

@@ -1,0 +1,225 @@
+package signaling
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats counts traffic on one link.
+type Stats struct {
+	Sent, Received atomic.Uint64
+	BytesSent      atomic.Uint64
+	BytesReceived  atomic.Uint64
+}
+
+// Handler answers an incoming request. It runs on its own goroutine, so
+// it may itself issue Calls on other links (a B_r recomputation fans out
+// to the node's own neighbors).
+type Handler func(req Message) Message
+
+// Peer is one bidirectional message channel to another node. Both sides
+// may issue requests concurrently: a read pump dispatches incoming
+// requests to the handler and routes responses to waiting Calls by
+// sequence number.
+type Peer struct {
+	conn    io.ReadWriteCloser
+	handler Handler
+	stats   *Stats
+
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	pending map[uint32]chan Message
+	seq     uint32
+	closed  bool
+	err     error
+	done    chan struct{}
+}
+
+// ErrPeerClosed is returned by Call after the link shuts down.
+var ErrPeerClosed = errors.New("signaling: peer closed")
+
+// NewPeer wraps a connection. handler answers incoming requests (nil
+// means reject everything with MsgError). The read pump starts
+// immediately; Close tears it down.
+func NewPeer(conn io.ReadWriteCloser, handler Handler) *Peer {
+	p := &Peer{
+		conn:    conn,
+		handler: handler,
+		stats:   &Stats{},
+		pending: make(map[uint32]chan Message),
+		done:    make(chan struct{}),
+	}
+	go p.readLoop()
+	return p
+}
+
+// Stats exposes the link's traffic counters.
+func (p *Peer) Stats() *Stats { return p.stats }
+
+// Close shuts the link down; pending Calls fail with ErrPeerClosed.
+func (p *Peer) Close() error {
+	p.fail(ErrPeerClosed)
+	return p.conn.Close()
+}
+
+func (p *Peer) fail(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.err = err
+	for seq, ch := range p.pending {
+		close(ch)
+		delete(p.pending, seq)
+	}
+	close(p.done)
+}
+
+func (p *Peer) send(m Message) error {
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	// Count before writing: on synchronous transports (net.Pipe) the
+	// receiver may act on the frame before a post-write increment runs,
+	// making counters appear to lag. "Sent" therefore means "attempted".
+	p.stats.Sent.Add(1)
+	p.stats.BytesSent.Add(frameSize)
+	return Encode(p.conn, m)
+}
+
+// Call sends a request and blocks until its response arrives or the link
+// dies.
+func (p *Peer) Call(req Message) (Message, error) {
+	if !req.Type.Request() {
+		return Message{}, fmt.Errorf("signaling: Call with non-request type %v", req.Type)
+	}
+	ch := make(chan Message, 1)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return Message{}, p.err
+	}
+	p.seq++
+	req.Seq = p.seq
+	p.pending[req.Seq] = ch
+	p.mu.Unlock()
+
+	if err := p.send(req); err != nil {
+		p.mu.Lock()
+		delete(p.pending, req.Seq)
+		p.mu.Unlock()
+		return Message{}, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		return Message{}, ErrPeerClosed
+	}
+	if resp.Type == MsgError {
+		return Message{}, fmt.Errorf("signaling: remote error code %d", resp.U1)
+	}
+	return resp, nil
+}
+
+// ErrTimeout is returned by CallTimeout when the deadline passes.
+var ErrTimeout = errors.New("signaling: call timed out")
+
+// CallTimeout is Call with a deadline: if the response does not arrive
+// in time it returns ErrTimeout and abandons the pending slot (a late
+// response is dropped by the pump). A zero or negative timeout degrades
+// to a plain Call.
+func (p *Peer) CallTimeout(req Message, timeout time.Duration) (Message, error) {
+	if timeout <= 0 {
+		return p.Call(req)
+	}
+	if !req.Type.Request() {
+		return Message{}, fmt.Errorf("signaling: Call with non-request type %v", req.Type)
+	}
+	ch := make(chan Message, 1)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return Message{}, p.err
+	}
+	p.seq++
+	req.Seq = p.seq
+	p.pending[req.Seq] = ch
+	p.mu.Unlock()
+
+	if err := p.send(req); err != nil {
+		p.mu.Lock()
+		delete(p.pending, req.Seq)
+		p.mu.Unlock()
+		return Message{}, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return Message{}, ErrPeerClosed
+		}
+		if resp.Type == MsgError {
+			return Message{}, fmt.Errorf("signaling: remote error code %d", resp.U1)
+		}
+		return resp, nil
+	case <-timer.C:
+		p.mu.Lock()
+		delete(p.pending, req.Seq)
+		p.mu.Unlock()
+		return Message{}, ErrTimeout
+	}
+}
+
+// readLoop pumps incoming frames: responses are matched to pending
+// Calls; requests are handled on fresh goroutines so a handler that
+// fans out further Calls cannot stall the pump.
+func (p *Peer) readLoop() {
+	for {
+		m, err := Decode(p.conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrClosedPipe) {
+				p.fail(fmt.Errorf("signaling: read: %w", err))
+			} else {
+				p.fail(ErrPeerClosed)
+			}
+			return
+		}
+		p.stats.Received.Add(1)
+		p.stats.BytesReceived.Add(frameSize)
+		if m.Type.Request() {
+			go p.serve(m)
+			continue
+		}
+		p.mu.Lock()
+		ch := p.pending[m.Seq]
+		delete(p.pending, m.Seq)
+		p.mu.Unlock()
+		if ch != nil {
+			ch <- m
+		}
+	}
+}
+
+func (p *Peer) serve(req Message) {
+	var resp Message
+	if p.handler == nil {
+		resp = Message{Type: MsgError, U1: 1}
+	} else {
+		resp = p.handler(req)
+	}
+	resp.Seq = req.Seq
+	resp.From, resp.To = req.To, req.From
+	if resp.Type != MsgError {
+		resp.Type = req.Type.Response()
+	}
+	_ = p.send(resp) // a dead link is detected by the read loop
+}
+
+// Done is closed when the link shuts down.
+func (p *Peer) Done() <-chan struct{} { return p.done }

@@ -1,0 +1,218 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// A Simulator owns a virtual clock and a priority queue of timestamped
+// events. Events fire in non-decreasing time order; ties are broken by
+// scheduling order (FIFO), which keeps runs fully deterministic for a
+// fixed random seed. The kernel knows nothing about cellular networks:
+// higher layers (internal/cellnet, internal/traffic) schedule closures.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Event is a callback fired at a virtual time. The callback receives the
+// simulator so it can schedule follow-up events.
+type Event func(s *Simulator)
+
+// Handle identifies a scheduled event so it can be canceled. The zero
+// Handle is invalid.
+type Handle struct {
+	seq uint64
+}
+
+// Valid reports whether h refers to an event that was actually scheduled.
+func (h Handle) Valid() bool { return h.seq != 0 }
+
+type item struct {
+	at       float64
+	seq      uint64
+	fn       Event
+	canceled bool
+}
+
+type eventQueue []*item
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*item)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Simulator is a discrete-event simulation driver. It is not safe for
+// concurrent use; all events run on the caller's goroutine.
+type Simulator struct {
+	now      float64
+	seq      uint64
+	queue    eventQueue
+	canceled map[uint64]*item
+	fired    uint64
+	running  bool
+	stopped  bool
+}
+
+// New returns an empty simulator with the clock at time 0.
+func New() *Simulator {
+	return &Simulator{canceled: make(map[uint64]*item)}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Pending returns the number of scheduled, not-yet-fired, not-canceled events.
+func (s *Simulator) Pending() int { return len(s.queue) - len(s.canceled) }
+
+// Fired returns the total number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// ErrPastEvent is returned by At when an event is scheduled before Now.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// At schedules fn to run at absolute time t. It panics if t is NaN and
+// returns ErrPastEvent if t precedes the current clock; t == Now is
+// allowed (the event fires after already-queued events at the same time).
+func (s *Simulator) At(t float64, fn Event) (Handle, error) {
+	if math.IsNaN(t) {
+		panic("sim: NaN event time")
+	}
+	if t < s.now {
+		return Handle{}, fmt.Errorf("%w: t=%v now=%v", ErrPastEvent, t, s.now)
+	}
+	s.seq++
+	it := &item{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, it)
+	return Handle{seq: s.seq}, nil
+}
+
+// After schedules fn to run d seconds from now. Negative d is an error.
+func (s *Simulator) After(d float64, fn Event) (Handle, error) {
+	return s.At(s.now+d, fn)
+}
+
+// MustAfter is After for delays known to be non-negative; it panics on error.
+func (s *Simulator) MustAfter(d float64, fn Event) Handle {
+	h, err := s.After(d, fn)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Cancel prevents a scheduled event from firing. It reports whether the
+// event was still pending. Canceling an already-fired, already-canceled,
+// or invalid handle returns false.
+func (s *Simulator) Cancel(h Handle) bool {
+	if !h.Valid() {
+		return false
+	}
+	for _, it := range s.queue {
+		if it.seq == h.seq {
+			if it.canceled {
+				return false
+			}
+			it.canceled = true
+			s.canceled[h.seq] = it
+			return true
+		}
+	}
+	return false
+}
+
+// Stop aborts the run loop after the current event returns. It may be
+// called from within an event callback.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// step fires the earliest pending event. It reports false when the queue
+// is empty.
+func (s *Simulator) step() bool {
+	for len(s.queue) > 0 {
+		it := heap.Pop(&s.queue).(*item)
+		if it.canceled {
+			delete(s.canceled, it.seq)
+			continue
+		}
+		if it.at < s.now {
+			panic("sim: time went backwards")
+		}
+		s.now = it.at
+		s.fired++
+		it.fn(s)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or Stop is called. It returns
+// the final clock value.
+func (s *Simulator) Run() float64 {
+	if s.running {
+		panic("sim: nested Run")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	s.stopped = false
+	for !s.stopped && s.step() {
+	}
+	return s.now
+}
+
+// RunUntil fires events with timestamps ≤ end, then sets the clock to end
+// and returns. Events scheduled after end remain queued.
+func (s *Simulator) RunUntil(end float64) float64 {
+	if s.running {
+		panic("sim: nested Run")
+	}
+	if end < s.now {
+		return s.now
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	s.stopped = false
+	for !s.stopped {
+		next, ok := s.peek()
+		if !ok || next > end {
+			break
+		}
+		s.step()
+	}
+	if !s.stopped && s.now < end {
+		s.now = end
+	}
+	return s.now
+}
+
+// peek returns the timestamp of the earliest pending event.
+func (s *Simulator) peek() (float64, bool) {
+	for len(s.queue) > 0 {
+		if s.queue[0].canceled {
+			it := heap.Pop(&s.queue).(*item)
+			delete(s.canceled, it.seq)
+			continue
+		}
+		return s.queue[0].at, true
+	}
+	return 0, false
+}
+
+// NextEventTime exposes the timestamp of the earliest pending event, for
+// tests and pacing logic. ok is false when nothing is queued.
+func (s *Simulator) NextEventTime() (t float64, ok bool) { return s.peek() }

@@ -1,0 +1,357 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSimulatorStartsAtZero(t *testing.T) {
+	s := New()
+	if s.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", s.Pending())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var got []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		if _, err := s.At(at, func(s *Simulator) { got = append(got, s.Now()) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestTiesFireInSchedulingOrder(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.MustAfter(7, func(*Simulator) { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break violated FIFO: got %v", got)
+		}
+	}
+}
+
+func TestPastEventRejected(t *testing.T) {
+	s := New()
+	s.MustAfter(10, func(*Simulator) {})
+	s.Run()
+	if _, err := s.At(5, func(*Simulator) {}); err == nil {
+		t.Fatal("scheduling in the past succeeded, want error")
+	}
+}
+
+func TestSameTimeEventAllowed(t *testing.T) {
+	s := New()
+	fired := false
+	s.MustAfter(10, func(s *Simulator) {
+		if _, err := s.At(s.Now(), func(*Simulator) { fired = true }); err != nil {
+			t.Errorf("At(Now) failed: %v", err)
+		}
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("event at current time did not fire")
+	}
+}
+
+func TestNegativeAfterRejected(t *testing.T) {
+	s := New()
+	s.MustAfter(1, func(*Simulator) {})
+	s.Run()
+	if _, err := s.After(-0.5, func(*Simulator) {}); err == nil {
+		t.Fatal("After(-0.5) succeeded, want error")
+	}
+}
+
+func TestNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(NaN) did not panic")
+		}
+	}()
+	New().At(nan(), func(*Simulator) {})
+}
+
+func nan() float64 { z := 0.0; return z / z }
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	h := s.MustAfter(1, func(*Simulator) { fired = true })
+	if !s.Cancel(h) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if s.Cancel(h) {
+		t.Fatal("double Cancel returned true")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestCancelInvalidHandle(t *testing.T) {
+	s := New()
+	if s.Cancel(Handle{}) {
+		t.Fatal("Cancel of zero handle returned true")
+	}
+}
+
+func TestCancelFiredEvent(t *testing.T) {
+	s := New()
+	h := s.MustAfter(1, func(*Simulator) {})
+	s.Run()
+	if s.Cancel(h) {
+		t.Fatal("Cancel of already-fired event returned true")
+	}
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	s := New()
+	fired := false
+	var h Handle
+	h = s.MustAfter(2, func(*Simulator) { fired = true })
+	s.MustAfter(1, func(s *Simulator) { s.Cancel(h) })
+	s.Run()
+	if fired {
+		t.Fatal("event canceled mid-run still fired")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", s.Pending())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	var count int
+	for i := 1; i <= 10; i++ {
+		s.MustAfter(float64(i), func(s *Simulator) {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("fired %d events after Stop at 3", count)
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("Pending() = %d, want 7", s.Pending())
+	}
+}
+
+func TestRunResumesAfterStop(t *testing.T) {
+	s := New()
+	var count int
+	for i := 1; i <= 4; i++ {
+		s.MustAfter(float64(i), func(s *Simulator) {
+			count++
+			if count == 2 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	s.Run()
+	if count != 4 {
+		t.Fatalf("fired %d events across two Runs, want 4", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var got []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		s.MustAfter(at, func(s *Simulator) { got = append(got, s.Now()) })
+	}
+	end := s.RunUntil(3)
+	if end != 3 {
+		t.Fatalf("RunUntil returned %v, want 3", end)
+	}
+	if len(got) != 3 {
+		t.Fatalf("fired %d events, want 3 (≤ end)", len(got))
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", s.Now())
+	}
+	s.Run()
+	if len(got) != 5 {
+		t.Fatalf("remaining events lost: fired %d total, want 5", len(got))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	s := New()
+	s.RunUntil(42)
+	if s.Now() != 42 {
+		t.Fatalf("clock = %v, want 42 with empty queue", s.Now())
+	}
+}
+
+func TestRunUntilBeforeNowIsNoop(t *testing.T) {
+	s := New()
+	s.RunUntil(10)
+	if got := s.RunUntil(5); got != 10 {
+		t.Fatalf("RunUntil(5) after Now=10 returned %v, want 10", got)
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	s := New()
+	depth := 0
+	var recurse func(*Simulator)
+	recurse = func(s *Simulator) {
+		depth++
+		if depth < 100 {
+			s.MustAfter(1, recurse)
+		}
+	}
+	s.MustAfter(1, recurse)
+	s.Run()
+	if depth != 100 {
+		t.Fatalf("chain depth = %d, want 100", depth)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", s.Now())
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.MustAfter(float64(i), func(*Simulator) {})
+	}
+	h := s.MustAfter(10, func(*Simulator) {})
+	s.Cancel(h)
+	s.Run()
+	if s.Fired() != 5 {
+		t.Fatalf("Fired() = %d, want 5 (canceled events don't count)", s.Fired())
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	s := New()
+	if _, ok := s.NextEventTime(); ok {
+		t.Fatal("NextEventTime ok on empty queue")
+	}
+	h := s.MustAfter(3, func(*Simulator) {})
+	s.MustAfter(5, func(*Simulator) {})
+	if at, ok := s.NextEventTime(); !ok || at != 3 {
+		t.Fatalf("NextEventTime = %v,%v want 3,true", at, ok)
+	}
+	s.Cancel(h)
+	if at, ok := s.NextEventTime(); !ok || at != 5 {
+		t.Fatalf("NextEventTime after cancel = %v,%v want 5,true", at, ok)
+	}
+}
+
+// Property: for any multiset of delays, events fire in sorted order and
+// the final clock equals the maximum delay.
+func TestPropertyFiringOrder(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := New()
+		var fireTimes []float64
+		for _, r := range raw {
+			at := float64(r) / 16
+			s.MustAfter(at, func(s *Simulator) { fireTimes = append(fireTimes, s.Now()) })
+		}
+		s.Run()
+		if len(fireTimes) != len(raw) {
+			return false
+		}
+		want := make([]float64, len(raw))
+		for i, r := range raw {
+			want[i] = float64(r) / 16
+		}
+		sort.Float64s(want)
+		for i := range want {
+			if fireTimes[i] != want[i] {
+				return false
+			}
+		}
+		return s.Now() == want[len(want)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canceling a random subset leaves exactly the complement firing.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(delays []uint8, mask []bool, seed uint64) bool {
+		s := New()
+		rng := rand.New(rand.NewPCG(seed, 0))
+		fired := make(map[int]bool)
+		handles := make([]Handle, len(delays))
+		for i, d := range delays {
+			i := i
+			handles[i] = s.MustAfter(float64(d), func(*Simulator) { fired[i] = true })
+		}
+		want := make(map[int]bool)
+		for i := range delays {
+			want[i] = true
+		}
+		for i := range handles {
+			drop := rng.IntN(2) == 0
+			if i < len(mask) {
+				drop = mask[i]
+			}
+			if drop {
+				s.Cancel(handles[i])
+				delete(want, i)
+			}
+		}
+		s.Run()
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range want {
+			if !fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	delays := make([]float64, 1024)
+	for i := range delays {
+		delays[i] = rng.Float64() * 1000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for _, d := range delays {
+			s.MustAfter(d, func(*Simulator) {})
+		}
+		s.Run()
+	}
+}

@@ -1,0 +1,85 @@
+package topology
+
+import "fmt"
+
+// hexDirs are the six axial-coordinate neighbor offsets of a hexagonal
+// grid, in counter-clockwise order starting from "east". The order is the
+// canonical neighbor order of every hex cell, matching the paper's
+// Fig. 2(b) style indexing (neighbor k of every cell lies in the same
+// geographic direction).
+var hexDirs = [6][2]int{
+	{+1, 0}, {+1, -1}, {0, -1}, {-1, 0}, {-1, +1}, {0, +1},
+}
+
+// NumHexDirs is the number of neighbor directions in a hex grid.
+const NumHexDirs = len(hexDirs)
+
+// Hex builds a rows×cols hexagonal grid in axial coordinates
+// (q = column, r = row; cell ID = r*cols + q). When wrap is true the grid
+// is a torus: every cell has exactly six neighbors and there are no
+// border effects, mirroring the paper's ring construction in 2-D. When
+// wrap is false, off-grid directions are simply absent and border cells
+// have fewer neighbors.
+//
+// With wrap, both rows and cols must be ≥ 3 so that a cell never wraps
+// onto itself or lists the same neighbor twice.
+func Hex(rows, cols int, wrap bool) *Topology {
+	if rows < 1 || cols < 1 {
+		panic("topology: hex needs rows, cols >= 1")
+	}
+	if wrap && (rows < 3 || cols < 3) {
+		panic("topology: wrapped hex needs rows, cols >= 3")
+	}
+	n := rows * cols
+	t := &Topology{kind: KindHex, n: n, neighbors: make([][]CellID, n), rows: rows, cols: cols, wrap: wrap}
+	for r := 0; r < rows; r++ {
+		for q := 0; q < cols; q++ {
+			id := r*cols + q
+			ns := make([]CellID, 0, NumHexDirs)
+			for _, d := range hexDirs {
+				nq, nr := q+d[0], r+d[1]
+				if wrap {
+					nq = (nq + cols) % cols
+					nr = (nr + rows) % rows
+				} else if nq < 0 || nq >= cols || nr < 0 || nr >= rows {
+					continue
+				}
+				ns = append(ns, CellID(nr*cols+nq))
+			}
+			t.neighbors[id] = ns
+		}
+	}
+	return finish(t)
+}
+
+// HexCoord returns the axial coordinates (q, r) of cell c in a hex
+// topology. It panics for non-hex topologies.
+func (t *Topology) HexCoord(c CellID) (q, r int) {
+	if t.kind != KindHex {
+		panic("topology: HexCoord on non-hex topology")
+	}
+	t.check(c)
+	return int(c) % t.cols, int(c) / t.cols
+}
+
+// HexStep returns the cell reached from c by moving in hex direction
+// dir ∈ [0, NumHexDirs). ok is false when the move leaves an unwrapped
+// grid. It panics for non-hex topologies.
+func (t *Topology) HexStep(c CellID, dir int) (CellID, bool) {
+	if t.kind != KindHex {
+		panic("topology: HexStep on non-hex topology")
+	}
+	if dir < 0 || dir >= NumHexDirs {
+		panic(fmt.Sprintf("topology: hex direction %d out of range", dir))
+	}
+	q, r := t.HexCoord(c)
+	d := hexDirs[dir]
+	nq, nr := q+d[0], r+d[1]
+	if t.wrap {
+		nq = (nq + t.cols) % t.cols
+		nr = (nr + t.rows) % t.rows
+	} else if nq < 0 || nq >= t.cols || nr < 0 || nr >= t.rows {
+		return None, false
+	}
+	return CellID(nr*t.cols + nq), true
+}

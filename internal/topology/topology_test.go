@@ -1,0 +1,296 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingStructure(t *testing.T) {
+	top := Ring(10)
+	if top.Kind() != KindRing {
+		t.Fatalf("Kind = %v, want ring", top.Kind())
+	}
+	if top.NumCells() != 10 {
+		t.Fatalf("NumCells = %d, want 10", top.NumCells())
+	}
+	for c := CellID(0); c < 10; c++ {
+		if top.Degree(c) != 2 {
+			t.Fatalf("cell %d degree = %d, want 2", c, top.Degree(c))
+		}
+	}
+	// The paper joins cells <1> and <10> (our 0 and 9).
+	if !top.Adjacent(0, 9) {
+		t.Fatal("ring borders not joined")
+	}
+	if !top.Adjacent(4, 5) {
+		t.Fatal("interior adjacency missing")
+	}
+	if top.Adjacent(0, 5) {
+		t.Fatal("non-adjacent cells reported adjacent")
+	}
+}
+
+func TestRingNeighborOrder(t *testing.T) {
+	top := Ring(5)
+	ns := top.Neighbors(0)
+	if ns[0] != 4 || ns[1] != 1 {
+		t.Fatalf("Neighbors(0) = %v, want [4 1] (left, right)", ns)
+	}
+}
+
+func TestRingTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ring(2) did not panic")
+		}
+	}()
+	Ring(2)
+}
+
+func TestLineStructure(t *testing.T) {
+	top := Line(10)
+	if top.Degree(0) != 1 || top.Degree(9) != 1 {
+		t.Fatal("line border cells must have one neighbor")
+	}
+	for c := CellID(1); c < 9; c++ {
+		if top.Degree(c) != 2 {
+			t.Fatalf("interior cell %d degree = %d, want 2", c, top.Degree(c))
+		}
+	}
+	if top.Adjacent(0, 9) {
+		t.Fatal("line borders must be disconnected (Table 3 scenario)")
+	}
+}
+
+func TestLocalIndexRoundTrip(t *testing.T) {
+	for _, top := range []*Topology{Ring(10), Line(7), Hex(4, 5, true), Hex(3, 3, false)} {
+		for c := CellID(0); int(c) < top.NumCells(); c++ {
+			// Self maps to 0 and back.
+			li, ok := top.LocalOf(c, c)
+			if !ok || li != Self {
+				t.Fatalf("%v: LocalOf(%d,%d) = %d,%v want Self", top.Kind(), c, c, li, ok)
+			}
+			if back, ok := top.FromLocal(c, Self); !ok || back != c {
+				t.Fatalf("%v: FromLocal(%d, Self) = %d,%v", top.Kind(), c, back, ok)
+			}
+			for i, nb := range top.Neighbors(c) {
+				li, ok := top.LocalOf(c, nb)
+				if !ok || li != LocalIndex(i+1) {
+					t.Fatalf("%v: LocalOf(%d,%d) = %d,%v want %d", top.Kind(), c, nb, li, ok, i+1)
+				}
+				back, ok := top.FromLocal(c, li)
+				if !ok || back != nb {
+					t.Fatalf("%v: FromLocal(%d,%d) = %d,%v want %d", top.Kind(), c, li, back, ok, nb)
+				}
+			}
+		}
+	}
+}
+
+func TestWithinHops(t *testing.T) {
+	top := Ring(10)
+	got := top.WithinHops(0, 2)
+	want := map[CellID]bool{9: true, 1: true, 8: true, 2: true}
+	if len(got) != len(want) {
+		t.Fatalf("WithinHops(0,2) = %v", got)
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("unexpected cell %d in %v", id, got)
+		}
+	}
+	if len(top.WithinHops(0, 0)) != 0 {
+		t.Fatal("WithinHops(0,0) non-empty")
+	}
+	// Whole ring reachable in 5 hops from any cell.
+	if len(top.WithinHops(3, 5)) != 9 {
+		t.Fatalf("WithinHops(3,5) = %v", top.WithinHops(3, 5))
+	}
+	// Hex: 1 hop = degree, 2 hops on a big torus = 18.
+	hex := Hex(7, 7, true)
+	if len(hex.WithinHops(0, 1)) != 6 {
+		t.Fatalf("hex 1-hop = %d", len(hex.WithinHops(0, 1)))
+	}
+	if len(hex.WithinHops(0, 2)) != 18 {
+		t.Fatalf("hex 2-hop = %d, want 18", len(hex.WithinHops(0, 2)))
+	}
+}
+
+func TestLocalOfNonNeighbor(t *testing.T) {
+	top := Ring(10)
+	if _, ok := top.LocalOf(0, 5); ok {
+		t.Fatal("LocalOf for non-neighbor returned ok")
+	}
+}
+
+func TestFromLocalOutOfRange(t *testing.T) {
+	top := Ring(10)
+	if _, ok := top.FromLocal(0, 3); ok {
+		t.Fatal("FromLocal(0,3) ok on degree-2 cell")
+	}
+	if _, ok := top.FromLocal(0, -1); ok {
+		t.Fatal("FromLocal(0,-1) ok")
+	}
+}
+
+func TestHexWrappedDegrees(t *testing.T) {
+	top := Hex(4, 5, true)
+	if top.NumCells() != 20 {
+		t.Fatalf("NumCells = %d, want 20", top.NumCells())
+	}
+	for c := CellID(0); int(c) < top.NumCells(); c++ {
+		if top.Degree(c) != 6 {
+			t.Fatalf("wrapped hex cell %d degree = %d, want 6", c, top.Degree(c))
+		}
+	}
+	if top.MaxDegree() != 6 {
+		t.Fatalf("MaxDegree = %d, want 6", top.MaxDegree())
+	}
+}
+
+func TestHexUnwrappedBorders(t *testing.T) {
+	top := Hex(3, 3, false)
+	// Corner cell 0 (q=0, r=0): dirs east, (ne), (se...) — expect 3 in-grid
+	// neighbors: (+1,0)=1, (0,+1)? wait r+1 -> cell 3... just check bounds.
+	for c := CellID(0); int(c) < top.NumCells(); c++ {
+		d := top.Degree(c)
+		if d < 2 || d > 6 {
+			t.Fatalf("cell %d degree = %d out of [2,6]", c, d)
+		}
+	}
+	// Center cell of a 3x3 grid has all six neighbors.
+	center := CellID(1*3 + 1)
+	if top.Degree(center) != 6 {
+		t.Fatalf("center degree = %d, want 6", top.Degree(center))
+	}
+}
+
+func TestHexCoordRoundTrip(t *testing.T) {
+	top := Hex(4, 5, true)
+	for c := CellID(0); int(c) < top.NumCells(); c++ {
+		q, r := top.HexCoord(c)
+		if CellID(r*5+q) != c {
+			t.Fatalf("HexCoord(%d) = (%d,%d) does not round-trip", c, q, r)
+		}
+	}
+}
+
+func TestHexStepWrapped(t *testing.T) {
+	top := Hex(4, 5, true)
+	for c := CellID(0); int(c) < top.NumCells(); c++ {
+		for dir := 0; dir < NumHexDirs; dir++ {
+			nb, ok := top.HexStep(c, dir)
+			if !ok {
+				t.Fatalf("wrapped HexStep(%d,%d) not ok", c, dir)
+			}
+			if !top.Adjacent(c, nb) {
+				t.Fatalf("HexStep(%d,%d) = %d not adjacent", c, dir, nb)
+			}
+		}
+	}
+}
+
+func TestHexStepUnwrappedEdges(t *testing.T) {
+	top := Hex(3, 3, false)
+	// Cell 2 is (q=2, r=0); stepping east (dir 0) leaves the grid.
+	if _, ok := top.HexStep(2, 0); ok {
+		t.Fatal("HexStep off-grid returned ok")
+	}
+	// Opposite directions cancel where both moves are in-grid.
+	mid := CellID(4)
+	east, ok1 := top.HexStep(mid, 0)
+	if !ok1 {
+		t.Fatal("center east step failed")
+	}
+	back, ok2 := top.HexStep(east, 3)
+	if !ok2 || back != mid {
+		t.Fatalf("east then west = %d,%v want %d", back, ok2, mid)
+	}
+}
+
+func TestHexStepOppositeDirectionsCancelOnTorus(t *testing.T) {
+	top := Hex(5, 7, true)
+	for c := CellID(0); int(c) < top.NumCells(); c++ {
+		for dir := 0; dir < NumHexDirs; dir++ {
+			fwd, _ := top.HexStep(c, dir)
+			rev, _ := top.HexStep(fwd, (dir+3)%NumHexDirs)
+			if rev != c {
+				t.Fatalf("dir %d then %d from %d lands on %d", dir, (dir+3)%NumHexDirs, c, rev)
+			}
+		}
+	}
+}
+
+func TestHexCoordPanicsOnRing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HexCoord on ring did not panic")
+		}
+	}()
+	Ring(5).HexCoord(0)
+}
+
+func TestOutOfRangeCellPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Neighbors(99) did not panic")
+		}
+	}()
+	Ring(5).Neighbors(99)
+}
+
+// Property: adjacency is symmetric and irreflexive in every topology.
+func TestPropertyAdjacencySymmetric(t *testing.T) {
+	f := func(nRaw uint8, kindRaw uint8) bool {
+		var top *Topology
+		switch kindRaw % 3 {
+		case 0:
+			top = Ring(3 + int(nRaw%20))
+		case 1:
+			top = Line(2 + int(nRaw%20))
+		default:
+			top = Hex(3+int(nRaw%4), 3+int(nRaw%5), nRaw%2 == 0)
+		}
+		n := top.NumCells()
+		for a := CellID(0); int(a) < n; a++ {
+			if top.Adjacent(a, a) {
+				return false
+			}
+			for b := CellID(0); int(b) < n; b++ {
+				if top.Adjacent(a, b) != top.Adjacent(b, a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every neighbor list has no duplicates and never contains the
+// cell itself.
+func TestPropertyNeighborListsClean(t *testing.T) {
+	f := func(nRaw uint8, wrap bool) bool {
+		for _, top := range []*Topology{
+			Ring(3 + int(nRaw%30)),
+			Line(2 + int(nRaw%30)),
+			Hex(3+int(nRaw%5), 3+int(nRaw/16%5), wrap),
+		} {
+			for c := CellID(0); int(c) < top.NumCells(); c++ {
+				seen := map[CellID]bool{}
+				for _, nb := range top.Neighbors(c) {
+					if nb == c || seen[nb] || !top.Valid(nb) {
+						return false
+					}
+					seen[nb] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

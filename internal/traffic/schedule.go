@@ -1,0 +1,91 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+)
+
+// HourSpec is one hour of a daily schedule: the *original* offered load
+// L_o generated in each cell during that hour and the mean mobile speed S
+// (the speed range in force is [S−20, S+20] km/h, §5.3).
+type HourSpec struct {
+	Load      float64 // offered load L_o in BUs
+	MeanKmh   float64 // mean speed S
+	SpreadKmh float64 // half-width of the speed range (paper: 20)
+}
+
+// Daily is a Schedule that repeats a 24-entry hourly pattern every day.
+// Rates are derived from each hour's offered load via Eq. 7 for the
+// scenario's class mix.
+type Daily struct {
+	hours [24]HourSpec
+	mix   Mix
+	mean  float64 // mean lifetime
+}
+
+// SecondsPerHour and SecondsPerDay are the paper's time-of-day units.
+const (
+	SecondsPerHour = 3600.0
+	SecondsPerDay  = 24 * SecondsPerHour
+)
+
+// NewDaily builds a daily schedule from 24 hour specs.
+func NewDaily(hours [24]HourSpec, mix Mix, meanLifetime float64) *Daily {
+	for h, s := range hours {
+		if s.Load < 0 || s.MeanKmh-s.SpreadKmh < 0 {
+			panic(fmt.Sprintf("traffic: bad hour %d spec %+v", h, s))
+		}
+	}
+	return &Daily{hours: hours, mix: mix, mean: meanLifetime}
+}
+
+func (d *Daily) hourAt(t float64) HourSpec {
+	if t < 0 {
+		t = 0
+	}
+	h := int(math.Mod(t, SecondsPerDay) / SecondsPerHour)
+	if h > 23 {
+		h = 23
+	}
+	return d.hours[h]
+}
+
+// Rate implements Schedule.
+func (d *Daily) Rate(t float64) float64 {
+	return RateForLoad(d.hourAt(t).Load, d.mix, d.mean)
+}
+
+// Speed implements Schedule.
+func (d *Daily) Speed(t float64) (float64, float64) {
+	s := d.hourAt(t)
+	return s.MeanKmh - s.SpreadKmh, s.MeanKmh + s.SpreadKmh
+}
+
+// NextChange implements Schedule: the next top of the hour.
+func (d *Daily) NextChange(t float64) (float64, bool) {
+	if t < 0 {
+		return 0, true
+	}
+	next := (math.Floor(t/SecondsPerHour) + 1) * SecondsPerHour
+	return next, true
+}
+
+// Hour returns hour h's spec (h in [0,24)).
+func (d *Daily) Hour(h int) HourSpec { return d.hours[h] }
+
+// PaperDay transcribes Figure 14(a): rush-hour offered-load peaks around
+// 9:00, 13:00 and 17:00–18:00 at depressed speeds, quiet nights at free
+// speeds. The exact hourly values are read off the plot (the paper gives
+// no table); the shape — peak times, ~180-BU peak load, ~30 km/h peak-hour
+// mean speed, 20 km/h half-width — follows the figure and §5.3.
+func PaperDay(mix Mix, meanLifetime float64) *Daily {
+	ls := [24]HourSpec{
+		{20, 100, 20}, {15, 100, 20}, {10, 100, 20}, {10, 100, 20}, // 0-3
+		{15, 100, 20}, {20, 100, 20}, {40, 90, 20}, {80, 70, 20}, // 4-7
+		{150, 50, 20}, {180, 30, 20}, {100, 60, 20}, {80, 70, 20}, // 8-11
+		{120, 60, 20}, {150, 40, 20}, {100, 60, 20}, {80, 70, 20}, // 12-15
+		{120, 50, 20}, {180, 30, 20}, {160, 40, 20}, {80, 60, 20}, // 16-19
+		{60, 80, 20}, {40, 90, 20}, {30, 100, 20}, {25, 100, 20}, // 20-23
+	}
+	return NewDaily(ls, mix, meanLifetime)
+}

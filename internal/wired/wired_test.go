@@ -1,0 +1,308 @@
+package wired
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"cellqos/internal/topology"
+)
+
+// line builds gw — msc — bs0 — (and bs1 hanging off msc).
+func simpleGraph() (*Graph, NodeID, NodeID, NodeID) {
+	g := NewGraph()
+	gw := g.AddNode(Gateway)
+	msc := g.AddNode(MSC)
+	bs0 := g.AddNode(BS)
+	bs1 := g.AddNode(BS)
+	g.AddLink(gw, msc, 100)
+	g.AddLink(msc, bs0, 50)
+	g.AddLink(msc, bs1, 50)
+	return g, gw, bs0, bs1
+}
+
+func TestRouteToGateway(t *testing.T) {
+	g, gw, bs0, _ := simpleGraph()
+	p, ok := g.RouteToGateway(bs0, 10)
+	if !ok {
+		t.Fatal("no route")
+	}
+	if !p.Valid() || len(p.Links) != 2 || p.Last() != gw {
+		t.Fatalf("path = %+v", p)
+	}
+	if p.Nodes[0] != bs0 {
+		t.Fatalf("path starts at %d, want %d", p.Nodes[0], bs0)
+	}
+}
+
+func TestRouteRespectsCapacity(t *testing.T) {
+	g, _, bs0, _ := simpleGraph()
+	if _, ok := g.RouteToGateway(bs0, 51); ok {
+		t.Fatal("routed over a 50-BU link with bw 51")
+	}
+	p, _ := g.RouteToGateway(bs0, 50)
+	if !g.Reserve(p, 50) {
+		t.Fatal("reserve failed")
+	}
+	if _, ok := g.RouteToGateway(bs0, 1); ok {
+		t.Fatal("routed through a full link")
+	}
+}
+
+func TestReserveAllOrNothing(t *testing.T) {
+	g, _, bs0, _ := simpleGraph()
+	p, _ := g.RouteToGateway(bs0, 10)
+	// Fill the BS uplink behind the router's back.
+	g.links[1].used = 45
+	if g.Reserve(p, 10) {
+		t.Fatal("partial-capacity reserve succeeded")
+	}
+	// No partial state left behind.
+	if used, _ := g.LinkLoad(0); used != 0 {
+		t.Fatalf("gateway link used = %d after failed reserve", used)
+	}
+}
+
+func TestReleaseRestoresCapacity(t *testing.T) {
+	g, _, bs0, _ := simpleGraph()
+	p, _ := g.RouteToGateway(bs0, 50)
+	g.Reserve(p, 50)
+	g.Release(p, 50)
+	if g.TotalUsed() != 0 {
+		t.Fatalf("TotalUsed = %d after release", g.TotalUsed())
+	}
+	if _, ok := g.RouteToGateway(bs0, 50); !ok {
+		t.Fatal("capacity not restored")
+	}
+}
+
+func TestOverReleasePanics(t *testing.T) {
+	g, _, bs0, _ := simpleGraph()
+	p, _ := g.RouteToGateway(bs0, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	g.Release(p, 10)
+}
+
+func TestRouteGoalAtSource(t *testing.T) {
+	g, gw, _, _ := simpleGraph()
+	p, ok := g.Route(gw, 10, func(n NodeID) bool { return n == gw })
+	if !ok || len(p.Links) != 0 || p.Last() != gw {
+		t.Fatalf("degenerate route = %+v, %v", p, ok)
+	}
+}
+
+func TestRouteMinHop(t *testing.T) {
+	// Two routes to the gateway: 2 hops via mscA, 3 hops via mscB chain.
+	g := NewGraph()
+	gw := g.AddNode(Gateway)
+	mA := g.AddNode(MSC)
+	mB1 := g.AddNode(MSC)
+	mB2 := g.AddNode(MSC)
+	bs := g.AddNode(BS)
+	g.AddLink(bs, mA, 10)
+	g.AddLink(mA, gw, 10)
+	g.AddLink(bs, mB1, 10)
+	g.AddLink(mB1, mB2, 10)
+	g.AddLink(mB2, gw, 10)
+	p, ok := g.RouteToGateway(bs, 5)
+	if !ok || len(p.Links) != 2 {
+		t.Fatalf("min-hop path has %d links, want 2", len(p.Links))
+	}
+	// Saturate the short route: BFS must fall back to the long one.
+	g.Reserve(p, 10)
+	p2, ok := g.RouteToGateway(bs, 5)
+	if !ok || len(p2.Links) != 3 {
+		t.Fatalf("fallback path has %d links (%v), want 3", len(p2.Links), ok)
+	}
+}
+
+func TestBackboneConnectDisconnect(t *testing.T) {
+	top := topology.Ring(4)
+	b := StarOfMSCs(top, 2, 20, 40, FullReroute)
+	p, ok := b.Connect(0, 10)
+	if !ok {
+		t.Fatal("connect blocked on an empty backbone")
+	}
+	if b.Graph().TotalUsed() == 0 {
+		t.Fatal("no bandwidth reserved")
+	}
+	b.Disconnect(p, 10)
+	if b.Graph().TotalUsed() != 0 {
+		t.Fatal("bandwidth leaked after disconnect")
+	}
+}
+
+func TestBackboneBlocksWhenFull(t *testing.T) {
+	top := topology.Ring(4)
+	b := StarOfMSCs(top, 1, 8, 100, FullReroute)
+	if _, ok := b.Connect(0, 4); !ok {
+		t.Fatal("first connect blocked")
+	}
+	if _, ok := b.Connect(0, 4); !ok {
+		t.Fatal("second connect blocked")
+	}
+	if _, ok := b.Connect(0, 4); ok {
+		t.Fatal("connect over BS uplink capacity succeeded")
+	}
+	if b.Blocked != 1 {
+		t.Fatalf("Blocked = %d, want 1", b.Blocked)
+	}
+}
+
+func TestFullRerouteHandOff(t *testing.T) {
+	top := topology.Ring(4)
+	b := StarOfMSCs(top, 2, 20, 40, FullReroute)
+	p, _ := b.Connect(0, 10)
+	before := b.Graph().TotalUsed()
+	p2, ok := b.HandOff(p, 1, 10)
+	if !ok {
+		t.Fatal("hand-off re-route failed")
+	}
+	if p2.Nodes[0] != b.BSNode(1) {
+		t.Fatalf("new path starts at %d, want BS of cell 1", p2.Nodes[0])
+	}
+	// Full re-route: same backbone footprint (both 2-hop paths).
+	if got := b.Graph().TotalUsed(); got != before {
+		t.Fatalf("TotalUsed = %d, want %d", got, before)
+	}
+	if b.Reroutes != 1 {
+		t.Fatalf("Reroutes = %d, want 1", b.Reroutes)
+	}
+	b.Disconnect(p2, 10)
+	if b.Graph().TotalUsed() != 0 {
+		t.Fatal("leak after full-reroute hand-off + disconnect")
+	}
+}
+
+func TestAnchorExtendHandOff(t *testing.T) {
+	top := topology.Ring(4)
+	b := MeshOfBSs(top, 30, 30, AnchorExtend)
+	p, _ := b.Connect(0, 10)
+	baseLinks := len(p.Links)
+	p2, ok := b.HandOff(p, 1, 10)
+	if !ok {
+		t.Fatal("anchor extension failed")
+	}
+	// The path grew by the BS0–BS1 segment and still starts at BS1.
+	if len(p2.Links) != baseLinks+1 {
+		t.Fatalf("extended path has %d links, want %d", len(p2.Links), baseLinks+1)
+	}
+	if p2.Nodes[0] != b.BSNode(1) {
+		t.Fatal("extended path doesn't start at the new BS")
+	}
+	if p2.Last() != p.Last() {
+		t.Fatal("anchor extension changed the gateway end")
+	}
+	b.Disconnect(p2, 10)
+	if b.Graph().TotalUsed() != 0 {
+		t.Fatal("leak after anchor hand-off + disconnect")
+	}
+}
+
+func TestHandOffFailureKeepsOldPath(t *testing.T) {
+	top := topology.Ring(4)
+	b := StarOfMSCs(top, 1, 10, 10, FullReroute)
+	p, ok := b.Connect(0, 10) // saturates the MSC-gateway link
+	if !ok {
+		t.Fatal("connect failed")
+	}
+	// Full reroute must reserve the new path before releasing the old;
+	// the shared MSC—gateway link has no headroom, so the hand-off fails
+	// and the old reservation must survive.
+	if _, ok := b.HandOff(p, 1, 10); ok {
+		t.Fatal("hand-off succeeded without backbone headroom")
+	}
+	if b.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", b.Dropped)
+	}
+	used, _ := b.Graph().LinkLoad(0)
+	if used != 10 {
+		t.Fatalf("old reservation lost: gateway link used = %d", used)
+	}
+}
+
+func TestStarOfMSCsShape(t *testing.T) {
+	top := topology.Ring(10)
+	b := StarOfMSCs(top, 3, 20, 60, FullReroute)
+	g := b.Graph()
+	if g.NumNodes() != 1+3+10 {
+		t.Fatalf("nodes = %d, want 14", g.NumNodes())
+	}
+	if g.NumLinks() != 3+10 {
+		t.Fatalf("links = %d, want 13", g.NumLinks())
+	}
+	for c := topology.CellID(0); c < 10; c++ {
+		if g.Kind(b.BSNode(c)) != BS {
+			t.Fatalf("cell %d mapped to %v", c, g.Kind(b.BSNode(c)))
+		}
+	}
+}
+
+// Property: random connect/disconnect/hand-off sequences never leak or
+// oversubscribe backbone bandwidth.
+func TestPropertyBackboneConservation(t *testing.T) {
+	top := topology.Ring(6)
+	f := func(seed uint64, strategyRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		strategy := RerouteStrategy(strategyRaw % 2)
+		b := MeshOfBSs(top, 25, 25, strategy)
+		type lease struct {
+			p    Path
+			bw   int
+			cell topology.CellID
+		}
+		var live []lease
+		expected := 0
+		for step := 0; step < 300; step++ {
+			switch rng.IntN(3) {
+			case 0: // connect
+				cell := topology.CellID(rng.IntN(6))
+				bw := 1 + rng.IntN(4)
+				if p, ok := b.Connect(cell, bw); ok {
+					live = append(live, lease{p, bw, cell})
+					expected += bw * len(p.Links)
+				}
+			case 1: // disconnect
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.IntN(len(live))
+				b.Disconnect(live[i].p, live[i].bw)
+				expected -= live[i].bw * len(live[i].p.Links)
+				live = append(live[:i], live[i+1:]...)
+			case 2: // hand-off to a neighbor
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.IntN(len(live))
+				nbs := top.Neighbors(live[i].cell)
+				to := nbs[rng.IntN(len(nbs))]
+				if p2, ok := b.HandOff(live[i].p, to, live[i].bw); ok {
+					expected += live[i].bw * (len(p2.Links) - len(live[i].p.Links))
+					live[i].p = p2
+					live[i].cell = to
+				}
+			}
+			if b.Graph().TotalUsed() != expected {
+				return false
+			}
+			for li := 0; li < b.Graph().NumLinks(); li++ {
+				used, cap_ := b.Graph().LinkLoad(li)
+				if used < 0 || used > cap_ {
+					return false
+				}
+			}
+		}
+		for _, l := range live {
+			b.Disconnect(l.p, l.bw)
+		}
+		return b.Graph().TotalUsed() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
