@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race exercises the scenario runner's worker pool under the race
+# detector; -short skips the long sweeps but keeps every concurrent path.
+race:
+	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/runner/
+	$(GO) test -race -run 'TestReportDeterministicAcrossWorkers|TestCanceledContextAborts' ./internal/experiments/
+
+# bench runs each table/figure once at reduced scale, including the
+# parallel-vs-serial runner comparison.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+verify: vet race

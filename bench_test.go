@@ -3,9 +3,13 @@ package cellqos
 // One benchmark per reproduced table and figure. Each runs the
 // corresponding experiment at reduced scale (shorter simulated time,
 // fewer load points) so `go test -bench=.` finishes in minutes; use
-// cmd/experiments for paper-scale regeneration.
+// cmd/experiments for paper-scale regeneration. BenchmarkRunnerParallel
+// additionally compares the scenario runner at one worker vs all cores
+// on a reduced Fig. 7 sweep, capturing the parallel speedup.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"cellqos/internal/experiments"
@@ -22,15 +26,42 @@ func benchOpts() experiments.Options {
 	}
 }
 
-func benchExperiment(b *testing.B, run func(experiments.Options) *experiments.Report) {
+func benchExperiment(b *testing.B, run func(experiments.Options) (*experiments.Report, error)) {
 	b.Helper()
 	opt := benchOpts()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep := run(opt)
+		rep, err := run(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(rep.Tables) == 0 {
 			b.Fatal("experiment produced no tables")
 		}
+	}
+}
+
+// BenchmarkRunnerParallel measures the runner's wall-clock speedup: the
+// same reduced Fig. 7 sweep (12 scenario points) at one worker and at
+// GOMAXPROCS workers. The reports are byte-identical either way (see
+// TestReportDeterministicAcrossWorkers); only the wall time differs.
+func BenchmarkRunnerParallel(b *testing.B) {
+	workers := []int{1, runtime.GOMAXPROCS(0)}
+	for _, par := range workers {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			opt := benchOpts()
+			opt.Parallel = par
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := experiments.Fig7(opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Tables) == 0 {
+					b.Fatal("experiment produced no tables")
+				}
+			}
+		})
 	}
 }
 

@@ -12,18 +12,26 @@
 //	cellsim -policy exp-dwell -dwell-mean 35 -dwell-window 30
 //	cellsim -policy mob-spec -spec-horizon 5
 //	cellsim -backbone star -bs-link 40 -msc-link 120
+//	cellsim -policy ac3 -reps 8 -parallel 4 -timeout 5m
+//
+// With -reps N the scenario is replicated with seeds seed..seed+N-1 on
+// -parallel workers (internal/runner) and per-replication plus mean
+// results are printed; -timeout cancels in-flight runs.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cellqos/internal/cellnet"
 	"cellqos/internal/core"
 	"cellqos/internal/mobility"
 	"cellqos/internal/predict"
+	"cellqos/internal/runner"
 	"cellqos/internal/stats"
 	"cellqos/internal/topology"
 	"cellqos/internal/traffic"
@@ -52,6 +60,9 @@ func main() {
 		retry       = flag.Bool("retry", false, "enable the §5.3 blocked-request retry model")
 		seed        = flag.Uint64("seed", 1, "RNG seed")
 		perCell     = flag.Bool("per-cell", true, "print the per-cell table")
+		reps        = flag.Int("reps", 1, "replications with seeds seed..seed+reps-1")
+		parallel    = flag.Int("parallel", 0, "replication workers (0 = GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 0, "cancel in-flight runs after this wall time (0 = none)")
 
 		dwellMean   = flag.Float64("dwell-mean", 35, "exp-dwell baseline: assumed mean dwell τ (s)")
 		dwellWindow = flag.Float64("dwell-window", 30, "exp-dwell baseline: fixed estimation window T (s)")
@@ -174,14 +185,30 @@ func main() {
 		}
 	}
 
-	net, err := cellnet.New(cfg)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	scen := runner.Scenario{Key: "cellsim", Config: cfg, Duration: end, Reps: *reps}
+	r := &runner.Runner{Parallel: *parallel}
+	points, err := r.Run(ctx, []runner.Scenario{scen})
+	if err == nil {
+		err = runner.FirstError(points)
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
-	res := net.Run(end)
 
 	fmt.Printf("policy=%s topology=%s load=%.0f Rvo=%.2f speed=[%.0f,%.0f]km/h duration=%.0fs\n",
 		cfg.Policy, cfg.Topology.Kind(), *load, *rvo, sr.MinKmh, sr.MaxKmh, end)
+
+	if *reps > 1 {
+		printReps(points, *seed)
+		return
+	}
+	res := points[0].Result
 	fmt.Printf("requests=%d blocked=%d hand-offs=%d dropped=%d completed=%d exited=%d\n",
 		res.Total.Requested, res.Total.Blocked, res.Total.HandOffs, res.Total.Dropped,
 		res.Total.Completed, res.Total.Exited)
@@ -213,6 +240,29 @@ func main() {
 		fmt.Println()
 		fmt.Print(tb.String())
 	}
+}
+
+// printReps prints per-replication results and their means.
+func printReps(points []runner.PointResult, baseSeed uint64) {
+	tb := stats.NewTable("seed", "PCB", "PHD", "Ncalc", "avgBr", "avgBu", "events", "wall(s)")
+	var meanPCB, meanPHD float64
+	var work time.Duration
+	for _, p := range points {
+		res := p.Result
+		tb.AddRowStrings(
+			fmt.Sprintf("%d", baseSeed+uint64(p.Rep)),
+			stats.FormatProb(res.PCB), stats.FormatProb(res.PHD),
+			fmt.Sprintf("%.3f", res.NCalc),
+			fmt.Sprintf("%.2f", res.AvgBr), fmt.Sprintf("%.2f", res.AvgBu),
+			fmt.Sprintf("%d", p.Events), fmt.Sprintf("%.1f", p.Wall.Seconds()))
+		meanPCB += res.PCB
+		meanPHD += res.PHD
+		work += p.Wall
+	}
+	n := float64(len(points))
+	fmt.Print(tb.String())
+	fmt.Printf("mean over %d reps: PCB=%s PHD=%s (%.1f CPU-seconds of simulation)\n",
+		len(points), stats.FormatProb(meanPCB/n), stats.FormatProb(meanPHD/n), work.Seconds())
 }
 
 func fatalf(format string, args ...any) {

@@ -4,14 +4,17 @@
 //
 //	experiments -list
 //	experiments -run fig8 [-duration 20000] [-seed 1] [-loads 60,100,150,200,250,300]
-//	experiments -run all [-out results/]
+//	experiments -run all [-out results/] [-parallel 8] [-timeout 10m] [-progress]
 //
 // Each experiment prints its qualitative paper claim followed by the
 // regenerated data as aligned tables; with -out, CSV files are written
-// alongside.
+// alongside. Scenario points fan out over -parallel workers (default
+// GOMAXPROCS) with identical output at any worker count; -timeout
+// cancels in-flight sweeps and -progress reports per-point throughput.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +24,7 @@ import (
 	"time"
 
 	"cellqos/internal/experiments"
+	"cellqos/internal/runner"
 )
 
 func main() {
@@ -34,6 +38,9 @@ func main() {
 		loads    = flag.String("loads", "", "comma-separated offered loads (default 60,100,150,200,250,300)")
 		out      = flag.String("out", "", "directory to write CSV files into")
 		plotFlag = flag.Bool("plot", false, "render figure experiments as terminal charts")
+		parallel = flag.Int("parallel", 0, "scenario workers (0 = GOMAXPROCS); results are identical at any value")
+		timeout  = flag.Duration("timeout", 0, "cancel in-flight sweeps after this wall time (0 = none)")
+		progress = flag.Bool("progress", false, "report per-point progress on stderr")
 	)
 	flag.Parse()
 
@@ -49,11 +56,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opt := experiments.Options{
 		Duration:      *duration,
 		TraceDuration: *traceDur,
 		Days:          *days,
 		Seed:          *seed,
+		Parallel:      *parallel,
+		Context:       ctx,
+	}
+	if *progress {
+		opt.Sink = runner.SinkFunc(func(p runner.Progress) {
+			if p.Point.Err != nil {
+				fmt.Fprintf(os.Stderr, "  [%d/%d] %s: %v\n", p.Done, p.Total, p.Point.Key, p.Point.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s: %.1fs wall, %.0f events/s\n",
+				p.Done, p.Total, p.Point.Key, p.Point.Wall.Seconds(), p.EventsPerSec())
+		})
 	}
 	if *loads != "" {
 		for _, part := range strings.Split(*loads, ",") {
@@ -82,7 +108,11 @@ func main() {
 
 	for _, e := range todo {
 		start := time.Now()
-		rep := e.Run(opt)
+		rep, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
 		fmt.Printf("=== %s — %s ===\n", rep.ID, rep.Title)
 		fmt.Printf("paper: %s\n\n", rep.PaperClaim)
 		for _, lt := range rep.Tables {

@@ -10,5 +10,10 @@
 // EXPERIMENTS.md for the paper-vs-measured record of every table and
 // figure. The top-level bench_test.go exposes one benchmark per
 // reproduced table/figure; cmd/experiments regenerates them from the
-// command line.
+// command line, fanning scenario points over internal/runner's worker
+// pool with identical output at any worker count.
+//
+// Concurrency invariant: a cellnet.Network and everything it owns is
+// confined to a single goroutine. Parallelism happens one Network per
+// scenario point (see internal/runner), never inside a Network.
 package cellqos

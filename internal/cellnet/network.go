@@ -57,6 +57,13 @@ type connection struct {
 }
 
 // Network is a runnable cellular-network simulation.
+//
+// A Network is single-threaded and confined to one goroutine: engines,
+// counters, the event kernel and the RNG are all unsynchronized ("one
+// Network per goroutine"). Concurrent sweeps (internal/runner) build one
+// Network per scenario point from an independent Config; the only Config
+// field that cannot be shared between Networks is the mutable Backbone
+// pointer, which New claims via wired.Backbone.Attach.
 type Network struct {
 	cfg    Config
 	sim    *sim.Simulator
@@ -74,6 +81,11 @@ type Network struct {
 func New(cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Backbone != nil {
+		if err := cfg.Backbone.Attach(); err != nil {
+			return nil, err
+		}
 	}
 	n := &Network{
 		cfg:   cfg,

@@ -61,9 +61,15 @@ type Result struct {
 // called repeatedly with increasing end times; statistics accumulate
 // unless ResetStats is called in between.
 func (n *Network) Run(end float64) *Result {
-	n.sim.RunUntil(end)
+	n.RunUntil(end)
 	return n.Snapshot()
 }
+
+// RunUntil advances the simulation clock to end (absolute seconds)
+// without building a Result. Slicing a run into several RunUntil calls
+// fires exactly the same events as one call with the final end time;
+// internal/runner uses this to check for cancellation between slices.
+func (n *Network) RunUntil(end float64) { n.sim.RunUntil(end) }
 
 // ResetStats zeroes all counters, hourly buckets and time averages while
 // keeping connections, estimators and T_est state — used to discard a

@@ -6,16 +6,21 @@ import (
 	"cellqos/internal/cellnet"
 	"cellqos/internal/core"
 	"cellqos/internal/mobility"
+	"cellqos/internal/runner"
 	"cellqos/internal/stats"
 	"cellqos/internal/topology"
 	"cellqos/internal/traffic"
 	"cellqos/internal/wired"
 )
 
+// overloadLoads is the two-point load sweep the baseline/ablation tables
+// use: the over-loaded region boundary and the heavy-overload point.
+var overloadLoads = []float64{150, 300}
+
 // AblationStep compares the paper's unit T_est step against the additive
 // and multiplicative alternatives §4.2 tried and rejected for causing
 // reservation oscillation.
-func AblationStep(opt Options) *Report {
+func AblationStep(opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	rep := &Report{
 		ID:    "ablation-step",
@@ -24,32 +29,50 @@ func AblationStep(opt Options) *Report {
 			"reserved bandwidth between over- and under-reservation; the unit step " +
 			"achieves the target with the lowest P_CB.",
 	}
-	tb := stats.NewTable("step", "load", "PCB", "PHD", "Test-adjustments")
-	for _, step := range []core.StepPolicy{core.UnitStep, core.AdditiveStep, core.MultiplicativeStep} {
-		for _, load := range []float64{150, 300} {
+	steps := []core.StepPolicy{core.UnitStep, core.AdditiveStep, core.MultiplicativeStep}
+	var scens []runner.Scenario
+	for _, step := range steps {
+		for _, load := range overloadLoads {
 			cfg := stationaryConfig(core.AC3, load, 1.0, true, opt.Seed)
 			cfg.Step = step
-			n := mustNet(cfg)
-			res := n.Run(opt.Duration)
-			var adjustments uint64
-			for c := 0; c < 10; c++ {
-				if tc := n.Engine(cellID(c)).Controller(); tc != nil {
-					up, down := tc.Adjustments()
-					adjustments += up + down
+			s := scenario(fmt.Sprintf("%s/%s/load%g", rep.ID, step, load), cfg, opt.Duration)
+			// The adjustment count lives in the per-cell controllers, which
+			// only the live Network exposes.
+			s.Post = func(n *cellnet.Network, _ *cellnet.Result) any {
+				var adjustments uint64
+				for c := 0; c < cfg.Topology.NumCells(); c++ {
+					if tc := n.Engine(cellID(c)).Controller(); tc != nil {
+						up, down := tc.Adjustments()
+						adjustments += up + down
+					}
 				}
+				return adjustments
 			}
+			scens = append(scens, s)
+		}
+	}
+	points, err := runAll(opt, scens)
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("step", "load", "PCB", "PHD", "Test-adjustments")
+	i := 0
+	for _, step := range steps {
+		for _, load := range overloadLoads {
+			p := points[i]
+			i++
 			tb.AddRowStrings(step.String(), fmtF(load),
-				stats.FormatProb(res.PCB), stats.FormatProb(res.PHD),
-				fmt.Sprintf("%d", adjustments))
+				stats.FormatProb(p.Result.PCB), stats.FormatProb(p.Result.PHD),
+				fmt.Sprintf("%d", p.Extra.(uint64)))
 		}
 	}
 	rep.Tables = append(rep.Tables, LabeledTable{Label: "", Table: tb})
-	return rep
+	return rep, nil
 }
 
 // AblationNQuad varies the maximum estimation-function size N_quad
 // around the paper's 100.
-func AblationNQuad(opt Options) *Report {
+func AblationNQuad(opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	rep := &Report{
 		ID:    "ablation-nquad",
@@ -59,25 +82,33 @@ func AblationNQuad(opt Options) *Report {
 			"violations or over-reservation, while larger N_quad changes little once " +
 			"the per-pair sample is statistically stable.",
 	}
-	tb := stats.NewTable("Nquad", "load", "PCB", "PHD")
-	for _, nquad := range []int{10, 25, 100, 400} {
-		for _, load := range []float64{150, 300} {
+	nquads := []int{10, 25, 100, 400}
+	res, err := variantSweep(opt, rep.ID, len(nquads), overloadLoads,
+		func(v int, load float64) cellnet.Config {
 			cfg := stationaryConfig(core.AC3, load, 1.0, true, opt.Seed)
-			cfg.Estimation.NQuad = nquad
-			res := mustRun(cfg, opt.Duration)
+			cfg.Estimation.NQuad = nquads[v]
+			return cfg
+		})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("Nquad", "load", "PCB", "PHD")
+	for v, nquad := range nquads {
+		for li, load := range overloadLoads {
+			r := res[v][li]
 			tb.AddRowStrings(fmt.Sprintf("%d", nquad), fmtF(load),
-				stats.FormatProb(res.PCB), stats.FormatProb(res.PHD))
+				stats.FormatProb(r.PCB), stats.FormatProb(r.PHD))
 		}
 	}
 	rep.Tables = append(rep.Tables, LabeledTable{Label: "", Table: tb})
-	return rep
+	return rep, nil
 }
 
 // BaselineExpDwell compares AC3 against the Naghshineh–Schwartz-style
 // analytical baseline the paper discusses in §6 (ref. [10]): exponential
 // dwell, uniform direction, fixed window — with the dwell parameter both
 // well-tuned and mis-tuned.
-func BaselineExpDwell(opt Options) *Report {
+func BaselineExpDwell(opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	rep := &Report{
 		ID:    "baseline-expdwell",
@@ -90,39 +121,47 @@ func BaselineExpDwell(opt Options) *Report {
 	}
 	// True mean dwell at high mobility: 1 km at U[80,120] km/h ≈ 36.8 s
 	// for through-traffic (plus shorter first-cell residues).
-	tb := stats.NewTable("scheme", "load", "PCB", "PHD")
 	type variant struct {
 		name        string
 		tau, window float64
 	}
-	for _, v := range []variant{
+	variants := []variant{
 		{"exp-dwell τ=35s T=30s", 35, 30},
 		{"exp-dwell τ=35s T=5s", 35, 5},
 		{"exp-dwell τ=35s T=1s", 35, 1},
 		{"exp-dwell τ=120s T=30s", 120, 30},
 		{"exp-dwell τ=10s T=30s", 10, 30},
-	} {
-		for _, load := range []float64{150, 300} {
+		{"AC3", 0, 0}, // the adaptive scheme, for comparison
+	}
+	res, err := variantSweep(opt, rep.ID, len(variants), overloadLoads,
+		func(v int, load float64) cellnet.Config {
+			if variants[v].name == "AC3" {
+				return stationaryConfig(core.AC3, load, 1.0, true, opt.Seed)
+			}
 			cfg := stationaryConfig(core.ExpDwell, load, 1.0, true, opt.Seed)
-			cfg.ExpDwellMean = v.tau
-			cfg.ExpDwellWindow = v.window
-			res := mustRun(cfg, opt.Duration)
-			tb.AddRowStrings(v.name, fmtF(load), stats.FormatProb(res.PCB), stats.FormatProb(res.PHD))
+			cfg.ExpDwellMean = variants[v].tau
+			cfg.ExpDwellWindow = variants[v].window
+			return cfg
+		})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("scheme", "load", "PCB", "PHD")
+	for v, vr := range variants {
+		for li, load := range overloadLoads {
+			r := res[v][li]
+			tb.AddRowStrings(vr.name, fmtF(load), stats.FormatProb(r.PCB), stats.FormatProb(r.PHD))
 		}
 	}
-	for _, load := range []float64{150, 300} {
-		res := runStationary(core.AC3, load, 1.0, true, opt)
-		tb.AddRowStrings("AC3", fmtF(load), stats.FormatProb(res.PCB), stats.FormatProb(res.PHD))
-	}
 	rep.Tables = append(rep.Tables, LabeledTable{Label: "", Table: tb})
-	return rep
+	return rep, nil
 }
 
 // BaselineMobSpec compares AC3 against the ref. [14]-style
 // mobility-specification reservation the paper critiques in §6: each
 // admitted connection pledges its bandwidth in every cell within the
 // specification horizon for its whole lifetime.
-func BaselineMobSpec(opt Options) *Report {
+func BaselineMobSpec(opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	rep := &Report{
 		ID:    "baseline-mobspec",
@@ -134,22 +173,32 @@ func BaselineMobSpec(opt Options) *Report {
 			"AC3; partial specs (mobiles outlive them) fail both ways — excessive " +
 			"blocking *and* drops beyond the spec.",
 	}
-	tb := stats.NewTable("scheme", "load", "PCB", "PHD")
-	for _, horizon := range []int{2, 3, 5} {
-		for _, load := range []float64{150, 300} {
+	horizons := []int{2, 3, 5, 0} // 0 = the AC3 comparison row
+	res, err := variantSweep(opt, rep.ID, len(horizons), overloadLoads,
+		func(v int, load float64) cellnet.Config {
+			if horizons[v] == 0 {
+				return stationaryConfig(core.AC3, load, 1.0, true, opt.Seed)
+			}
 			cfg := stationaryConfig(core.MobSpec, load, 1.0, true, opt.Seed)
-			cfg.MobSpecHorizon = horizon
-			res := mustRun(cfg, opt.Duration)
-			tb.AddRowStrings(fmt.Sprintf("mob-spec H=%d", horizon), fmtF(load),
-				stats.FormatProb(res.PCB), stats.FormatProb(res.PHD))
+			cfg.MobSpecHorizon = horizons[v]
+			return cfg
+		})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("scheme", "load", "PCB", "PHD")
+	for v, horizon := range horizons {
+		name := "AC3"
+		if horizon > 0 {
+			name = fmt.Sprintf("mob-spec H=%d", horizon)
+		}
+		for li, load := range overloadLoads {
+			r := res[v][li]
+			tb.AddRowStrings(name, fmtF(load), stats.FormatProb(r.PCB), stats.FormatProb(r.PHD))
 		}
 	}
-	for _, load := range []float64{150, 300} {
-		res := runStationary(core.AC3, load, 1.0, true, opt)
-		tb.AddRowStrings("AC3", fmtF(load), stats.FormatProb(res.PCB), stats.FormatProb(res.PHD))
-	}
 	rep.Tables = append(rep.Tables, LabeledTable{Label: "", Table: tb})
-	return rep
+	return rep, nil
 }
 
 // ExtensionHints evaluates the paper's §7 ITS/GPS extension: with route
@@ -157,7 +206,7 @@ func BaselineMobSpec(opt Options) *Report {
 // estimates hand-off times. Run on a 2-D hex grid with imperfect
 // direction persistence, where history-based direction prediction is
 // genuinely uncertain.
-func ExtensionHints(opt Options) *Report {
+func ExtensionHints(opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	rep := &Report{
 		ID:    "extension-hints",
@@ -167,9 +216,9 @@ func ExtensionHints(opt Options) *Report {
 			"P_CB at the same bounded P_HD, and less aggregate reservation, with the " +
 			"largest gains where direction is hardest to predict from history.",
 	}
-	tb := stats.NewTable("hints", "load", "PCB", "PHD", "avgBr")
-	for _, hints := range []bool{false, true} {
-		for _, load := range []float64{150, 300} {
+	hintVariants := []bool{false, true}
+	res, err := variantSweep(opt, rep.ID, len(hintVariants), overloadLoads,
+		func(v int, load float64) cellnet.Config {
 			top := topology.Hex(4, 4, true)
 			cfg := cellnet.PaperBase()
 			cfg.Topology = top
@@ -182,23 +231,31 @@ func ExtensionHints(opt Options) *Report {
 				Lambda: traffic.RateForLoad(load, cfg.Mix, cfg.MeanLifetime),
 				MinKmh: 80, MaxKmh: 120,
 			}
-			cfg.DirectionHints = hints
+			cfg.DirectionHints = hintVariants[v]
 			cfg.Seed = opt.Seed
-			res := mustRun(cfg, opt.Duration)
+			return cfg
+		})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("hints", "load", "PCB", "PHD", "avgBr")
+	for v, hints := range hintVariants {
+		for li, load := range overloadLoads {
+			r := res[v][li]
 			tb.AddRowStrings(fmt.Sprintf("%v", hints), fmtF(load),
-				stats.FormatProb(res.PCB), stats.FormatProb(res.PHD),
-				fmt.Sprintf("%.2f", res.AvgBr))
+				stats.FormatProb(r.PCB), stats.FormatProb(r.PHD),
+				fmt.Sprintf("%.2f", r.AvgBr))
 		}
 	}
 	rep.Tables = append(rep.Tables, LabeledTable{Label: "", Table: tb})
-	return rep
+	return rep, nil
 }
 
 // ExtensionWired evaluates the §2/§7 wired-link reservation extension:
 // connections also reserve backbone bandwidth BS→gateway and hand-offs
 // re-route, comparing full re-routing against anchor extension under a
 // constrained backbone.
-func ExtensionWired(opt Options) *Report {
+func ExtensionWired(opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	rep := &Report{
 		ID:    "extension-wired",
@@ -209,33 +266,53 @@ func ExtensionWired(opt Options) *Report {
 			"anchor extension consumes more backbone bandwidth than full re-routing " +
 			"(longer paths) in exchange for cheaper re-route signaling.",
 	}
-	tb := stats.NewTable("backbone", "strategy", "PCB", "PHD", "wired-blocked", "wired-dropped", "backbone-used")
+	type variant struct {
+		tight    bool
+		strategy wired.RerouteStrategy
+	}
+	var variants []variant
 	for _, tight := range []bool{false, true} {
 		for _, strategy := range []wired.RerouteStrategy{wired.FullReroute, wired.AnchorExtend} {
-			cfg := stationaryConfig(core.AC3, 200, 1.0, true, opt.Seed)
-			interCap, upCap := 4000, 4000
-			name := "provisioned"
-			if tight {
-				interCap, upCap = 60, 60
-				name = "constrained"
-			}
-			cfg.Backbone = wired.MeshOfBSs(cfg.Topology, interCap, upCap, strategy)
-			res := mustRun(cfg, opt.Duration)
-			tb.AddRowStrings(name, strategy.String(),
-				stats.FormatProb(res.PCB), stats.FormatProb(res.PHD),
-				fmt.Sprintf("%d", res.WiredBlocked), fmt.Sprintf("%d", res.WiredDropped),
-				fmt.Sprintf("%d", res.WiredUsed))
+			variants = append(variants, variant{tight, strategy})
 		}
 	}
+	scens := make([]runner.Scenario, len(variants))
+	for i, v := range variants {
+		cfg := stationaryConfig(core.AC3, 200, 1.0, true, opt.Seed)
+		interCap, upCap := 4000, 4000
+		if v.tight {
+			interCap, upCap = 60, 60
+		}
+		// Each variant mints its own Backbone: the graph is mutable state
+		// owned by exactly one Network.
+		cfg.Backbone = wired.MeshOfBSs(cfg.Topology, interCap, upCap, v.strategy)
+		scens[i] = scenario(fmt.Sprintf("%s/v%d", rep.ID, i), cfg, opt.Duration)
+	}
+	res, err := runResults(opt, scens)
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("backbone", "strategy", "PCB", "PHD", "wired-blocked", "wired-dropped", "backbone-used")
+	for i, v := range variants {
+		name := "provisioned"
+		if v.tight {
+			name = "constrained"
+		}
+		r := res[i]
+		tb.AddRowStrings(name, v.strategy.String(),
+			stats.FormatProb(r.PCB), stats.FormatProb(r.PHD),
+			fmt.Sprintf("%d", r.WiredBlocked), fmt.Sprintf("%d", r.WiredDropped),
+			fmt.Sprintf("%d", r.WiredUsed))
+	}
 	rep.Tables = append(rep.Tables, LabeledTable{Label: "", Table: tb})
-	return rep
+	return rep, nil
 }
 
 // ExtensionCDMA evaluates the §7 CDMA adaptations: soft hand-off
 // (overlap-window make-before-break) and soft capacity (an interference
 // margin usable by hand-offs), each of which the paper predicts will
 // reduce hand-off drops.
-func ExtensionCDMA(opt Options) *Report {
+func ExtensionCDMA(opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	rep := &Report{
 		ID:    "extension-cdma",
@@ -244,39 +321,48 @@ func ExtensionCDMA(opt Options) *Report {
 			"(1) soft capacity notion and (2) soft hand-off support\". Expectation: " +
 			"either mechanism lowers P_HD at unchanged P_CB; combined they compound.",
 	}
-	tb := stats.NewTable("variant", "load", "PCB", "PHD", "soft-saved")
 	type variant struct {
 		name    string
 		overlap float64
 		margin  int
 	}
-	for _, v := range []variant{
+	variants := []variant{
 		{"baseline (hard, FCA)", 0, 0},
 		{"soft hand-off 5s", 5, 0},
 		{"soft capacity +8BU", 0, 8},
 		{"both", 5, 8},
-	} {
-		for _, load := range []float64{200, 300} {
+	}
+	loads := []float64{200, 300}
+	res, err := variantSweep(opt, rep.ID, len(variants), loads,
+		func(v int, load float64) cellnet.Config {
 			cfg := stationaryConfig(core.AC3, load, 0.5, true, opt.Seed)
-			cfg.HandOffMargin = v.margin
-			if v.overlap > 0 {
-				cfg.SoftHandOff = cellnet.SoftHandOffConfig{Enabled: true, OverlapSeconds: v.overlap}
+			cfg.HandOffMargin = variants[v].margin
+			if variants[v].overlap > 0 {
+				cfg.SoftHandOff = cellnet.SoftHandOffConfig{Enabled: true, OverlapSeconds: variants[v].overlap}
 			}
-			res := mustRun(cfg, opt.Duration)
-			tb.AddRowStrings(v.name, fmtF(load),
-				stats.FormatProb(res.PCB), stats.FormatProb(res.PHD),
-				fmt.Sprintf("%d", res.SoftSaved))
+			return cfg
+		})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("variant", "load", "PCB", "PHD", "soft-saved")
+	for v, vr := range variants {
+		for li, load := range loads {
+			r := res[v][li]
+			tb.AddRowStrings(vr.name, fmtF(load),
+				stats.FormatProb(r.PCB), stats.FormatProb(r.PHD),
+				fmt.Sprintf("%d", r.SoftSaved))
 		}
 	}
 	rep.Tables = append(rep.Tables, LabeledTable{Label: "", Table: tb})
-	return rep
+	return rep, nil
 }
 
 // IntegrationAdaptiveQoS evaluates the §1 integration with adaptive-QoS
 // schemes (refs [6,8]): video connections degrade between a minimum and
 // 4 BUs, reservation and admission run on the minimum-QoS basis, cells
 // downgrade to absorb hand-offs and upgrade when bandwidth frees.
-func IntegrationAdaptiveQoS(opt Options) *Report {
+func IntegrationAdaptiveQoS(opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	rep := &Report{
 		ID:    "integration-adaptiveqos",
@@ -286,31 +372,40 @@ func IntegrationAdaptiveQoS(opt Options) *Report {
 			"that reducing hand-off drops is one of adaptation's roles. Expectation: " +
 			"large P_HD and P_CB reductions, paid for in time spent degraded.",
 	}
-	tb := stats.NewTable("variant", "load", "PCB", "PHD", "avg-degraded(BU)", "downgrades")
 	type variant struct {
 		name string
 		min  int
 	}
-	for _, v := range []variant{{"rigid video", 0}, {"video min 2 BU", 2}, {"video min 1 BU", 1}} {
-		for _, load := range []float64{200, 300} {
+	variants := []variant{{"rigid video", 0}, {"video min 2 BU", 2}, {"video min 1 BU", 1}}
+	loads := []float64{200, 300}
+	res, err := variantSweep(opt, rep.ID, len(variants), loads,
+		func(v int, load float64) cellnet.Config {
 			cfg := stationaryConfig(core.AC3, load, 0.5, true, opt.Seed)
-			if v.min > 0 {
-				cfg.AdaptiveQoS = cellnet.AdaptiveQoSConfig{Enabled: true, VideoMinBUs: v.min}
+			if variants[v].min > 0 {
+				cfg.AdaptiveQoS = cellnet.AdaptiveQoSConfig{Enabled: true, VideoMinBUs: variants[v].min}
 			}
-			res := mustRun(cfg, opt.Duration)
-			tb.AddRowStrings(v.name, fmtF(load),
-				stats.FormatProb(res.PCB), stats.FormatProb(res.PHD),
-				fmt.Sprintf("%.2f", res.AvgDegraded), fmt.Sprintf("%d", res.QoSDowngrades))
+			return cfg
+		})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("variant", "load", "PCB", "PHD", "avg-degraded(BU)", "downgrades")
+	for v, vr := range variants {
+		for li, load := range loads {
+			r := res[v][li]
+			tb.AddRowStrings(vr.name, fmtF(load),
+				stats.FormatProb(r.PCB), stats.FormatProb(r.PHD),
+				fmt.Sprintf("%.2f", r.AvgDegraded), fmt.Sprintf("%d", r.QoSDowngrades))
 		}
 	}
 	rep.Tables = append(rep.Tables, LabeledTable{Label: "", Table: tb})
-	return rep
+	return rep, nil
 }
 
 // AblationDropped toggles whether a departure whose hand-off was dropped
 // still feeds the estimation functions (our default: yes — the movement
 // happened; the paper does not specify).
-func AblationDropped(opt Options) *Report {
+func AblationDropped(opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	rep := &Report{
 		ID:    "ablation-dropped",
@@ -319,16 +414,24 @@ func AblationDropped(opt Options) *Report {
 			"departures starves the estimator exactly where drops concentrate, " +
 			"slightly biasing B_r downward under overload.",
 	}
-	tb := stats.NewTable("record-dropped", "load", "PCB", "PHD")
-	for _, skip := range []bool{false, true} {
-		for _, load := range []float64{150, 300} {
+	skips := []bool{false, true}
+	res, err := variantSweep(opt, rep.ID, len(skips), overloadLoads,
+		func(v int, load float64) cellnet.Config {
 			cfg := stationaryConfig(core.AC3, load, 1.0, true, opt.Seed)
-			cfg.SkipDroppedDepartures = skip
-			res := mustRun(cfg, opt.Duration)
+			cfg.SkipDroppedDepartures = skips[v]
+			return cfg
+		})
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("record-dropped", "load", "PCB", "PHD")
+	for v, skip := range skips {
+		for li, load := range overloadLoads {
+			r := res[v][li]
 			tb.AddRowStrings(fmt.Sprintf("%v", !skip), fmtF(load),
-				stats.FormatProb(res.PCB), stats.FormatProb(res.PHD))
+				stats.FormatProb(r.PCB), stats.FormatProb(r.PHD))
 		}
 	}
 	rep.Tables = append(rep.Tables, LabeledTable{Label: "", Table: tb})
-	return rep
+	return rep, nil
 }

@@ -3,12 +3,21 @@
 // Report of labeled tables; cmd/experiments runs them from the command
 // line and bench_test.go exposes each as a benchmark.
 //
+// Every experiment expresses its sweep as a list of runner.Scenario
+// points executed by internal/runner, so points run in parallel
+// (Options.Parallel workers) yet the assembled Report is deterministic:
+// the same seed yields byte-identical Report.Bytes output at any worker
+// count, because each point is an independent Network and results are
+// merged by point index, never by completion order.
+//
 // Absolute numbers depend on run length and RNG, so each Report states
 // the paper's qualitative claim ("shape") that the regenerated data
 // should exhibit; EXPERIMENTS.md records a measured-vs-paper comparison.
 package experiments
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"sort"
 
@@ -16,6 +25,7 @@ import (
 	"cellqos/internal/core"
 	"cellqos/internal/mobility"
 	"cellqos/internal/plot"
+	"cellqos/internal/runner"
 	"cellqos/internal/stats"
 	"cellqos/internal/topology"
 	"cellqos/internal/traffic"
@@ -35,6 +45,14 @@ type Options struct {
 	Loads []float64
 	// Seed drives all RNG.
 	Seed uint64
+	// Parallel is the scenario worker count (0 = GOMAXPROCS). Results
+	// are identical at any worker count.
+	Parallel int
+	// Context, when non-nil, cancels in-flight sweeps; the experiment
+	// then returns the context's error.
+	Context context.Context
+	// Sink, when non-nil, observes per-point progress.
+	Sink runner.Sink
 }
 
 // withDefaults fills in zero fields.
@@ -74,11 +92,27 @@ type Report struct {
 	Charts []*plot.Chart
 }
 
+// Bytes is the report's canonical serialization: metadata, every table
+// as CSV, every chart as its rendered text. Identical simulation data
+// serializes to identical bytes, which is how the runner's determinism
+// guarantee is verified (same seed ⇒ same bytes at any Parallel).
+func (r *Report) Bytes() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "report %s\ntitle %s\nclaim %s\n", r.ID, r.Title, r.PaperClaim)
+	for _, lt := range r.Tables {
+		fmt.Fprintf(&b, "table %q\n%s", lt.Label, lt.Table.CSV())
+	}
+	for _, ch := range r.Charts {
+		fmt.Fprintf(&b, "chart\n%s\n", ch.Render())
+	}
+	return b.Bytes()
+}
+
 // Experiment is a runnable reproduction unit.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Options) *Report
+	Run   func(Options) (*Report, error)
 }
 
 // All returns every experiment in paper order.
@@ -116,6 +150,101 @@ func Lookup(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// runAll executes scenarios on the shared runner and returns their
+// points in declaration order, failing on the first point error.
+func runAll(opt Options, scens []runner.Scenario) ([]runner.PointResult, error) {
+	r := &runner.Runner{Parallel: opt.Parallel, Sink: opt.Sink}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	points, err := r.Run(ctx, scens)
+	if err == nil {
+		err = runner.FirstError(points)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// runResults is runAll projected onto the simulation results.
+func runResults(opt Options, scens []runner.Scenario) ([]*cellnet.Result, error) {
+	points, err := runAll(opt, scens)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Results(points), nil
+}
+
+// runOne executes a single scenario.
+func runOne(opt Options, s runner.Scenario) (*cellnet.Result, error) {
+	res, err := runResults(opt, []runner.Scenario{s})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// scenario wraps a config and duration as a runner point.
+func scenario(key string, cfg cellnet.Config, duration float64) runner.Scenario {
+	return runner.Scenario{Key: key, Config: cfg, Duration: duration}
+}
+
+// loadGrid is the shared (group × series × load) sweep behind the
+// stationary figures (7–9, 12–13): one scenario per cell of the grid,
+// executed by the runner, results reshaped to [group][series][load]
+// with loads ascending.
+func loadGrid(opt Options, id string, groups, series int,
+	build func(g, s int, load float64) cellnet.Config) ([][][]*cellnet.Result, error) {
+	loads := sortedLoads(opt)
+	scens := make([]runner.Scenario, 0, groups*series*len(loads))
+	for g := 0; g < groups; g++ {
+		for s := 0; s < series; s++ {
+			for _, load := range loads {
+				key := fmt.Sprintf("%s/g%d/s%d/load%g", id, g, s, load)
+				scens = append(scens, scenario(key, build(g, s, load), opt.Duration))
+			}
+		}
+	}
+	flat, err := runResults(opt, scens)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][][]*cellnet.Result, groups)
+	i := 0
+	for g := 0; g < groups; g++ {
+		out[g] = make([][]*cellnet.Result, series)
+		for s := 0; s < series; s++ {
+			out[g][s] = flat[i : i+len(loads)]
+			i += len(loads)
+		}
+	}
+	return out, nil
+}
+
+// variantSweep is the shared (variant × load) sweep behind the baseline,
+// extension and ablation tables: results come back as [variant][load].
+func variantSweep(opt Options, id string, variants int, loads []float64,
+	build func(v int, load float64) cellnet.Config) ([][]*cellnet.Result, error) {
+	scens := make([]runner.Scenario, 0, variants*len(loads))
+	for v := 0; v < variants; v++ {
+		for _, load := range loads {
+			key := fmt.Sprintf("%s/v%d/load%g", id, v, load)
+			scens = append(scens, scenario(key, build(v, load), opt.Duration))
+		}
+	}
+	flat, err := runResults(opt, scens)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*cellnet.Result, variants)
+	for v := 0; v < variants; v++ {
+		out[v] = flat[v*len(loads) : (v+1)*len(loads)]
+	}
+	return out, nil
+}
+
 // mobilityName labels the paper's two stationary speed ranges.
 func mobilityName(high bool) string {
 	if high {
@@ -133,7 +262,8 @@ func speedRange(high bool) mobility.SpeedRange {
 
 // stationaryConfig builds the paper's §5.1 scenario: a 10-cell ring,
 // 1-km cells, constant Poisson load, bidirectional constant-speed
-// mobiles.
+// mobiles. Each call mints a fresh Config, so the returned value is safe
+// to run as its own Network ("one Network per goroutine").
 func stationaryConfig(policy core.Policy, load, rvo float64, high bool, seed uint64) cellnet.Config {
 	top := topology.Ring(10)
 	cfg := cellnet.PaperBase()
@@ -149,20 +279,6 @@ func stationaryConfig(policy core.Policy, load, rvo float64, high bool, seed uin
 	cfg.Seed = seed
 	return cfg
 }
-
-// runStationary executes one stationary scenario.
-func runStationary(policy core.Policy, load, rvo float64, high bool, opt Options) *cellnet.Result {
-	cfg := stationaryConfig(policy, load, rvo, high, opt.Seed)
-	return cellnet.MustNew(cfg).Run(opt.Duration)
-}
-
-// mustRun builds and runs an explicit config.
-func mustRun(cfg cellnet.Config, duration float64) *cellnet.Result {
-	return cellnet.MustNew(cfg).Run(duration)
-}
-
-// mustNet builds a network for runs that need post-run engine access.
-func mustNet(cfg cellnet.Config) *cellnet.Network { return cellnet.MustNew(cfg) }
 
 // cellID converts for readability at call sites.
 func cellID(i int) topology.CellID { return topology.CellID(i) }

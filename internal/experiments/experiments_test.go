@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
@@ -30,7 +33,10 @@ func TestAllExperimentsProduceTables(t *testing.T) {
 		}
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			rep := e.Run(opt)
+			rep, err := e.Run(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if rep.ID != e.ID {
 				t.Fatalf("report ID %q != experiment ID %q", rep.ID, e.ID)
 			}
@@ -94,7 +100,10 @@ func TestFig8ShapeAC3MeetsTarget(t *testing.T) {
 	}
 	opt := quickOpt()
 	opt.Duration = 3000
-	rep := Fig8(opt)
+	rep, err := Fig8(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, lt := range rep.Tables {
 		for _, row := range csvRows(lt) {
 			if phd := parseProb(row[3]); phd > 0.02 {
@@ -108,7 +117,10 @@ func TestFig13ShapeNCalc(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment sweep")
 	}
-	rep := Fig13(quickOpt())
+	rep, err := Fig13(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, lt := range rep.Tables {
 		for _, row := range csvRows(lt) {
 			nc := parseProb(row[2])
@@ -136,7 +148,10 @@ func TestFig9ShapeBrMonotoneBroadly(t *testing.T) {
 	}
 	opt := quickOpt()
 	opt.Loads = []float64{60, 300}
-	rep := Fig9(opt)
+	rep, err := Fig9(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Within each (mobility, Rvo) group, B_r at load 300 must exceed B_r
 	// at load 60 (monotone increase per the paper).
 	for _, lt := range rep.Tables {
@@ -157,7 +172,10 @@ func TestTable3ShapeCellOne(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment sweep")
 	}
-	rep := Table3(quickOpt())
+	rep, err := Table3(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, lt := range rep.Tables {
 		rows := csvRows(lt)
 		if got := parseProb(rows[0][2]); got != 0 {
@@ -176,7 +194,10 @@ func TestFig14Runs(t *testing.T) {
 		t.Skip("long time-varying run")
 	}
 	opt := quickOpt()
-	rep := Fig14(opt)
+	rep, err := Fig14(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rep.Tables) != 2 {
 		t.Fatalf("fig14 tables = %d, want 2", len(rep.Tables))
 	}
@@ -191,5 +212,44 @@ func TestFig14Runs(t *testing.T) {
 				t.Errorf("night-hour PCB = %v for %s", pcb, row[1])
 			}
 		}
+	}
+}
+
+// TestReportDeterministicAcrossWorkers is the end-to-end determinism
+// guarantee: a full experiment serialized with Report.Bytes is
+// byte-identical whether the sweep ran on one worker or eight.
+func TestReportDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	opt := quickOpt()
+	opt.Parallel = 1
+	rep1, err := Fig7(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Parallel = 8
+	rep8, err := Fig7(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b8 := rep1.Bytes(), rep8.Bytes()
+	if len(b1) == 0 {
+		t.Fatal("empty serialized report")
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Fatalf("reports differ between parallel=1 and parallel=8:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s", b1, b8)
+	}
+}
+
+// TestCanceledContextAborts: a pre-canceled context makes an experiment
+// fail fast with context.Canceled instead of running the sweep.
+func TestCanceledContextAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := quickOpt()
+	opt.Context = ctx
+	if _, err := Fig8(opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

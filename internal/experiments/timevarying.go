@@ -7,6 +7,7 @@ import (
 	"cellqos/internal/core"
 	"cellqos/internal/mobility"
 	"cellqos/internal/predict"
+	"cellqos/internal/runner"
 	"cellqos/internal/stats"
 	"cellqos/internal/topology"
 	"cellqos/internal/traffic"
@@ -15,7 +16,7 @@ import (
 // Fig14 regenerates Figure 14: two days of time-varying traffic and
 // mobility (the §5.3 schedule transcribed from Fig. 14(a)) with the
 // blocked-request retry model, comparing AC1, AC2 and AC3 per hour.
-func Fig14(opt Options) *Report {
+func Fig14(opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	mix := traffic.Mix{VoiceRatio: 1.0}
 	sched := traffic.PaperDay(mix, traffic.MeanLifetime)
@@ -31,18 +32,10 @@ func Fig14(opt Options) *Report {
 			"L_o when blocking is high.",
 	}
 
-	// (a) the schedule itself plus the measured actual offered load.
-	type hourRow struct {
-		lo, la [3]float64 // per policy
-	}
 	policies := []core.Policy{core.AC1, core.AC2, core.AC3}
-	hours := int(end / traffic.SecondsPerHour)
-	rows := make([]hourRow, hours)
-
-	probTb := stats.NewTable("hour", "policy", "PCB", "PHD")
-	sc := newCollector()
-	for pi, policy := range policies {
-		top := topology.Ring(10)
+	top := topology.Ring(10)
+	scens := make([]runner.Scenario, len(policies))
+	for i, policy := range policies {
 		cfg := cellnet.PaperBase()
 		cfg.Topology = top
 		cfg.Policy = policy
@@ -52,7 +45,24 @@ func Fig14(opt Options) *Report {
 		cfg.Schedule = sched
 		cfg.Retry = traffic.PaperRetry
 		cfg.Seed = opt.Seed
-		res := mustRun(cfg, end)
+		scens[i] = scenario(fmt.Sprintf("fig14/%s", policy), cfg, end)
+	}
+	results, err := runResults(opt, scens)
+	if err != nil {
+		return nil, err
+	}
+
+	// (a) the schedule itself plus the measured actual offered load.
+	type hourRow struct {
+		lo, la [3]float64 // per policy
+	}
+	hours := int(end / traffic.SecondsPerHour)
+	rows := make([]hourRow, hours)
+
+	probTb := stats.NewTable("hour", "policy", "PCB", "PHD")
+	sc := newCollector()
+	for pi, policy := range policies {
+		res := results[pi]
 		for h := 0; h < hours && h < len(res.Hourly); h++ {
 			hc := res.Hourly[h]
 			probTb.AddRowStrings(fmt.Sprintf("%d", h), policy.String(),
@@ -83,5 +93,5 @@ func Fig14(opt Options) *Report {
 	ch.XLabel = "hour of run"
 	ch.FloorY = 1e-4
 	rep.Charts = append(rep.Charts, sc.into(ch))
-	return rep
+	return rep, nil
 }

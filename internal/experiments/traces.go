@@ -7,6 +7,7 @@ import (
 	"cellqos/internal/core"
 	"cellqos/internal/mobility"
 	"cellqos/internal/plot"
+	"cellqos/internal/runner"
 	"cellqos/internal/stats"
 	"cellqos/internal/topology"
 	"cellqos/internal/traffic"
@@ -15,17 +16,20 @@ import (
 // tracedRun executes the Fig. 10/11 scenario: AC3, offered load 300,
 // R_vo = 1.0, high mobility, tracing cells <5> and <6> (IDs 4 and 5)
 // from the cold start.
-func tracedRun(opt Options) *cellnet.Result {
+func tracedRun(key string, opt Options) (*cellnet.Result, error) {
 	cfg := stationaryConfig(core.AC3, 300, 1.0, true, opt.Seed)
 	cfg.TraceCells = []topology.CellID{4, 5}
-	return mustRun(cfg, opt.TraceDuration)
+	return runOne(opt, scenario(key, cfg, opt.TraceDuration))
 }
 
 // Fig10 regenerates Figure 10: T_est and B_r over time in cells <5> and
 // <6> for the over-loaded high-mobility run.
-func Fig10(opt Options) *Report {
+func Fig10(opt Options) (*Report, error) {
 	opt = opt.withDefaults()
-	res := tracedRun(opt)
+	res, err := tracedRun("fig10/trace", opt)
+	if err != nil {
+		return nil, err
+	}
 	rep := &Report{
 		ID:    "fig10",
 		Title: "T_est and B_r vs time (load 300, Rvo 1.0, high mobility, AC3)",
@@ -52,14 +56,17 @@ func Fig10(opt Options) *Report {
 		ch.Add("Br", grid, brVals)
 		rep.Charts = append(rep.Charts, ch)
 	}
-	return rep
+	return rep, nil
 }
 
 // Fig11 regenerates Figure 11: cumulative P_HD over time for the same
 // run and cells.
-func Fig11(opt Options) *Report {
+func Fig11(opt Options) (*Report, error) {
 	opt = opt.withDefaults()
-	res := tracedRun(opt)
+	res, err := tracedRun("fig11/trace", opt)
+	if err != nil {
+		return nil, err
+	}
 	rep := &Report{
 		ID:    "fig11",
 		Title: "Cumulative P_HD vs time (load 300, Rvo 1.0, high mobility, AC3)",
@@ -84,7 +91,7 @@ func Fig11(opt Options) *Report {
 	ch.Add("cell <5>", grid, g5)
 	ch.Add("cell <6>", grid, g6)
 	rep.Charts = append(rep.Charts, ch)
-	return rep
+	return rep, nil
 }
 
 // perCellTable renders a Table 2/3 style end-of-run status table.
@@ -105,7 +112,7 @@ func perCellTable(res *cellnet.Result) *stats.Table {
 
 // Table2 regenerates Table 2: per-cell status at the end of over-loaded
 // runs (load 300, R_vo = 1.0, high mobility) under AC1 and AC3.
-func Table2(opt Options) *Report {
+func Table2(opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	rep := &Report{
 		ID:    "table2",
@@ -115,20 +122,29 @@ func Table2(opt Options) *Report {
 			"starved cells. AC3 is balanced: similar P_CB everywhere and P_HD ≤ 0.01 " +
 			"in every cell.",
 	}
-	for _, policy := range []core.Policy{core.AC1, core.AC3} {
-		res := runStationary(policy, 300, 1.0, true, opt)
+	policies := []core.Policy{core.AC1, core.AC3}
+	scens := make([]runner.Scenario, len(policies))
+	for i, policy := range policies {
+		scens[i] = scenario(fmt.Sprintf("table2/%s", policy),
+			stationaryConfig(policy, 300, 1.0, true, opt.Seed), opt.Duration)
+	}
+	res, err := runResults(opt, scens)
+	if err != nil {
+		return nil, err
+	}
+	for i, policy := range policies {
 		rep.Tables = append(rep.Tables, LabeledTable{
 			Label: fmt.Sprintf("(%s)", policy),
-			Table: perCellTable(res),
+			Table: perCellTable(res[i]),
 		})
 	}
-	return rep
+	return rep, nil
 }
 
 // Table3 regenerates Table 3: the one-directional scenario — all mobiles
 // travel from cell <1> toward cell <10> on an open line (borders
 // disconnected), load 300, R_vo = 1.0, high mobility.
-func Table3(opt Options) *Report {
+func Table3(opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	rep := &Report{
 		ID:    "table3",
@@ -138,7 +154,9 @@ func Table3(opt Options) *Report {
 			"every-other-cell pattern with over-target P_HD. AC3 blocks some new " +
 			"connections in <1> and balances the line while meeting the target.",
 	}
-	for _, policy := range []core.Policy{core.AC1, core.AC3} {
+	policies := []core.Policy{core.AC1, core.AC3}
+	scens := make([]runner.Scenario, len(policies))
+	for i, policy := range policies {
 		top := topology.Line(10)
 		cfg := cellnet.PaperBase()
 		cfg.Topology = top
@@ -153,11 +171,17 @@ func Table3(opt Options) *Report {
 			MinKmh: 80, MaxKmh: 120,
 		}
 		cfg.Seed = opt.Seed
-		res := mustRun(cfg, opt.Duration)
+		scens[i] = scenario(fmt.Sprintf("table3/%s", policy), cfg, opt.Duration)
+	}
+	res, err := runResults(opt, scens)
+	if err != nil {
+		return nil, err
+	}
+	for i, policy := range policies {
 		rep.Tables = append(rep.Tables, LabeledTable{
 			Label: fmt.Sprintf("(%s)", policy),
-			Table: perCellTable(res),
+			Table: perCellTable(res[i]),
 		})
 	}
-	return rep
+	return rep, nil
 }

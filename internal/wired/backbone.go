@@ -48,6 +48,24 @@ type Backbone struct {
 	Dropped uint64
 	// Reroutes counts successful hand-off re-routes.
 	Reroutes uint64
+
+	// attached marks the backbone as owned by a simulation run. Graph
+	// reservations and the counters above are mutable and unsynchronized,
+	// so a Backbone may belong to at most one Network ("one Network per
+	// goroutine"); sharing one across concurrent runs would race.
+	attached bool
+}
+
+// Attach claims the backbone for a single simulation run. It fails if
+// the backbone already belongs to one — build a fresh Backbone per
+// Network instead of reusing the pointer.
+func (b *Backbone) Attach() error {
+	if b.attached {
+		return fmt.Errorf("wired: backbone already attached to a network " +
+			"(build one Backbone per Network; they cannot be shared)")
+	}
+	b.attached = true
+	return nil
 }
 
 // NewBackbone wraps a graph whose BS nodes are already mapped to cells.
