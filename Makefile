@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench golden fuzz verify
 
 build:
 	$(GO) build ./...
@@ -11,16 +11,29 @@ test:
 vet:
 	$(GO) vet ./...
 
-# race exercises the scenario runner's worker pool under the race
-# detector; -short skips the long sweeps but keeps every concurrent path.
+# race exercises the scenario runner's worker pool and the engine
+# property test under the race detector; -short skips the long sweeps
+# but keeps every concurrent path.
 race:
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/runner/
 	$(GO) test -race -run 'TestReportDeterministicAcrossWorkers|TestCanceledContextAborts' ./internal/experiments/
+	$(GO) test -race -run TestPropertyEngineRandomOps ./internal/core/
 
 # bench runs each table/figure once at reduced scale, including the
-# parallel-vs-serial runner comparison.
+# parallel-vs-serial runner comparison, across every package that
+# defines benchmarks.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-verify: vet race
+# golden checks the pinned reduced-scale corpus for all experiments;
+# regenerate deliberately with `go test ./internal/golden/ -update`.
+golden:
+	$(GO) test ./internal/golden/
+
+# fuzz gives every fuzz target a short smoke run (the CI budget; run
+# targets individually with a longer -fuzztime for real hunting).
+fuzz:
+	$(GO) test -fuzz=FuzzPersistRoundTrip -fuzztime=30s ./internal/predict/
+
+verify: build vet race

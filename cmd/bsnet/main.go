@@ -6,16 +6,22 @@
 //
 // Usage:
 //
-//	bsnet [-cells 10] [-mode mesh|star] [-requests 200] [-load 200]
+//	bsnet [-cells 10] [-mode mesh|star] [-requests 200] [-load 200] [-audit]
+//
+// With -audit every base station's bandwidth ledger is verified against
+// the paper's conservation invariants (internal/audit) after the drive;
+// a violation fails the run with a structured diagnostic.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"net"
 	"os"
 
+	"cellqos/internal/audit"
 	"cellqos/internal/core"
 	"cellqos/internal/predict"
 	"cellqos/internal/signaling"
@@ -25,14 +31,27 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit so tests can drive the
+// CLI in-process: args are the command-line arguments (without the
+// program name) and the exit status is returned instead of calling
+// os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bsnet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		cells    = flag.Int("cells", 10, "number of cells in the ring")
-		mode     = flag.String("mode", "mesh", "signaling topology: mesh|star")
-		requests = flag.Int("requests", 200, "admission requests to drive")
-		load     = flag.Float64("load", 200, "offered load used to pre-populate cells")
-		seed     = flag.Uint64("seed", 1, "RNG seed")
+		cells    = fs.Int("cells", 10, "number of cells in the ring")
+		mode     = fs.String("mode", "mesh", "signaling topology: mesh|star")
+		requests = fs.Int("requests", 200, "admission requests to drive")
+		load     = fs.Float64("load", 200, "offered load used to pre-populate cells")
+		seed     = fs.Uint64("seed", 1, "RNG seed")
+		doAudit  = fs.Bool("audit", false, "verify every BS's bandwidth ledger after the drive")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	top := topology.Ring(*cells)
 	nodes := make([]*signaling.BSNode, *cells)
@@ -45,27 +64,36 @@ func main() {
 			Estimation: predict.StationaryConfig(),
 		})
 	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+
+	// links tracks each node's peer links as we create them: BSNode
+	// doesn't expose its link map, and the frame counts come from here.
+	links := map[*signaling.BSNode][]*signaling.Peer{}
 
 	var mscLinks []*signaling.Peer
 	switch *mode {
 	case "mesh":
-		if err := wireMeshTCP(top, nodes); err != nil {
-			fmt.Fprintf(os.Stderr, "bsnet: %v\n", err)
-			os.Exit(1)
+		if err := wireMeshTCP(top, nodes, links); err != nil {
+			fmt.Fprintf(stderr, "bsnet: %v\n", err)
+			return 1
 		}
 	case "star":
 		msc := signaling.NewMSC()
-		links, err := wireStarTCP(nodes, msc)
+		ml, err := wireStarTCP(nodes, msc, links)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bsnet: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "bsnet: %v\n", err)
+			return 1
 		}
-		mscLinks = links
+		mscLinks = ml
 	default:
-		fmt.Fprintf(os.Stderr, "bsnet: unknown mode %q\n", *mode)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "bsnet: unknown mode %q\n", *mode)
+		return 2
 	}
-	fmt.Printf("wired %d base stations over TCP (%s)\n", *cells, *mode)
+	fmt.Fprintf(stdout, "wired %d base stations over TCP (%s)\n", *cells, *mode)
 
 	// Pre-populate each cell with connections and mobility history so
 	// reservations are non-trivial, then drive admission requests.
@@ -109,14 +137,14 @@ func main() {
 		}
 	}
 
-	fmt.Printf("admission requests: %d admitted, %d blocked (Ncalc avg %.2f)\n",
+	fmt.Fprintf(stdout, "admission requests: %d admitted, %d blocked (Ncalc avg %.2f)\n",
 		admitted, blocked, float64(calcs)/float64(*requests))
 
 	tb := stats.NewTable("Cell", "Bu", "Br", "frames-sent")
 	var totalFrames uint64
 	for ci, n := range nodes {
 		frames := uint64(0)
-		for _, p := range nodeLinks(n) {
+		for _, p := range links[n] {
 			frames += p.Stats().Sent.Load()
 		}
 		totalFrames += frames
@@ -128,23 +156,42 @@ func main() {
 	for _, p := range mscLinks {
 		totalFrames += p.Stats().Sent.Load()
 	}
-	fmt.Println()
-	fmt.Print(tb.String())
-	fmt.Printf("total protocol frames sent: %d\n", totalFrames)
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, tb.String())
+	fmt.Fprintf(stdout, "total protocol frames sent: %d\n", totalFrames)
 
-	for _, n := range nodes {
-		n.Close()
+	if *doAudit {
+		if err := auditNodes(nodes); err != nil {
+			fmt.Fprintf(stderr, "bsnet: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "audit: %d base-station ledgers verified clean\n", len(nodes))
 	}
+	return 0
 }
 
-// nodeLinks drains a node's peer links via the exported surface: BSNode
-// doesn't expose its link map, so we track links as we create them.
-var linksByNode = map[*signaling.BSNode][]*signaling.Peer{}
+// auditNodes runs the invariant checker over every node's ledger,
+// converting a Violation panic into an error for CLI reporting.
+func auditNodes(nodes []*signaling.BSNode) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if v, ok := r.(*audit.Violation); ok {
+				err = v
+				return
+			}
+			panic(r)
+		}
+	}()
+	var ck audit.Checker
+	for ci, n := range nodes {
+		ck.Engine(fmt.Sprintf("bs %d", ci), 0, n.Engine().Ledger())
+	}
+	return nil
+}
 
-func nodeLinks(n *signaling.BSNode) []*signaling.Peer { return linksByNode[n] }
-
-// wireMeshTCP connects every neighboring pair over loopback TCP.
-func wireMeshTCP(top *topology.Topology, nodes []*signaling.BSNode) error {
+// wireMeshTCP connects every neighboring pair over loopback TCP,
+// recording each created link in links.
+func wireMeshTCP(top *topology.Topology, nodes []*signaling.BSNode, links map[*signaling.BSNode][]*signaling.Peer) error {
 	for a := 0; a < len(nodes); a++ {
 		for _, nb := range top.Neighbors(topology.CellID(a)) {
 			if int(nb) <= a {
@@ -154,37 +201,43 @@ func wireMeshTCP(top *topology.Topology, nodes []*signaling.BSNode) error {
 			if err != nil {
 				return err
 			}
-			acceptErr := make(chan error, 1)
-			go func(a int) {
+			// The accept goroutine only performs the handshake; both
+			// Attach calls and links writes stay on this goroutine so
+			// the map is never touched concurrently.
+			type handshake struct {
+				remote signaling.NodeID
+				conn   net.Conn
+				err    error
+			}
+			acc := make(chan handshake, 1)
+			go func() {
 				conn, err := ln.Accept()
 				if err != nil {
-					acceptErr <- err
+					acc <- handshake{err: err}
 					return
 				}
 				remote, err := signaling.AcceptHello(conn)
-				if err != nil {
-					acceptErr <- err
-					return
-				}
-				linksByNode[nodes[a]] = append(linksByNode[nodes[a]], nodes[a].Attach(remote, conn))
-				acceptErr <- nil
-			}(a)
+				acc <- handshake{remote: remote, conn: conn, err: err}
+			}()
 			conn, err := signaling.DialTCP(ln.Addr().String(), signaling.NodeID(nb))
 			if err != nil {
 				return err
 			}
-			linksByNode[nodes[nb]] = append(linksByNode[nodes[nb]], nodes[nb].Attach(signaling.NodeID(a), conn))
-			if err := <-acceptErr; err != nil {
-				return err
+			links[nodes[nb]] = append(links[nodes[nb]], nodes[nb].Attach(signaling.NodeID(a), conn))
+			h := <-acc
+			if h.err != nil {
+				return h.err
 			}
+			links[nodes[a]] = append(links[nodes[a]], nodes[a].Attach(h.remote, h.conn))
 			ln.Close()
 		}
 	}
 	return nil
 }
 
-// wireStarTCP connects every BS to an in-process MSC over loopback TCP.
-func wireStarTCP(nodes []*signaling.BSNode, msc *signaling.MSC) ([]*signaling.Peer, error) {
+// wireStarTCP connects every BS to an in-process MSC over loopback TCP,
+// recording each BS-side link in links.
+func wireStarTCP(nodes []*signaling.BSNode, msc *signaling.MSC, links map[*signaling.BSNode][]*signaling.Peer) ([]*signaling.Peer, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -213,7 +266,7 @@ func wireStarTCP(nodes []*signaling.BSNode, msc *signaling.MSC) ([]*signaling.Pe
 		if err != nil {
 			return nil, err
 		}
-		linksByNode[n] = append(linksByNode[n], n.Attach(signaling.MSCNode, conn))
+		links[n] = append(links[n], n.Attach(signaling.MSCNode, conn))
 	}
 	if err := <-done; err != nil {
 		return nil, err

@@ -13,20 +13,26 @@
 //	cellsim -policy mob-spec -spec-horizon 5
 //	cellsim -backbone star -bs-link 40 -msc-link 120
 //	cellsim -policy ac3 -reps 8 -parallel 4 -timeout 5m
+//	cellsim -policy ac3 -audit 32
 //
 // With -reps N the scenario is replicated with seeds seed..seed+N-1 on
 // -parallel workers (internal/runner) and per-replication plus mean
-// results are printed; -timeout cancels in-flight runs.
+// results are printed; -timeout cancels in-flight runs. With -audit N
+// the runtime invariant checker (internal/audit) verifies bandwidth
+// conservation on every Nth event and at the final snapshot; a
+// violation aborts the run with a structured diagnostic.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"cellqos/internal/audit"
 	"cellqos/internal/cellnet"
 	"cellqos/internal/core"
 	"cellqos/internal/mobility"
@@ -39,50 +45,70 @@ import (
 )
 
 func main() {
-	var (
-		policyName  = flag.String("policy", "ac3", "admission policy: ac1|ac2|ac3|static|none")
-		reserve     = flag.Int("reserve", 10, "static reservation G in BUs (policy=static)")
-		load        = flag.Float64("load", 150, "offered load per cell in BUs (Eq. 7)")
-		rvo         = flag.Float64("rvo", 1.0, "voice ratio R_vo (voice=1 BU, video=4 BU)")
-		speed       = flag.String("speed", "high", "mobility: high (80-120 km/h) | low (40-60 km/h) | min,max")
-		topoName    = flag.String("topology", "ring", "topology: ring|line|hex")
-		cells       = flag.Int("cells", 10, "number of cells (ring/line)")
-		rows        = flag.Int("rows", 4, "hex rows")
-		cols        = flag.Int("cols", 5, "hex cols")
-		wrap        = flag.Bool("wrap", true, "wrap hex grid into a torus")
-		persistence = flag.Float64("persistence", 0.8, "hex walk direction persistence")
-		direction   = flag.String("direction", "random", "1-D travel direction: random|forward|backward")
-		capacity    = flag.Int("capacity", 100, "cell link capacity in BUs")
-		target      = flag.Float64("target", 0.01, "P_HD target")
-		duration    = flag.Float64("duration", 20000, "simulated seconds (constant schedule)")
-		schedName   = flag.String("schedule", "constant", "traffic schedule: constant|daily")
-		days        = flag.Int("days", 2, "days to simulate (schedule=daily)")
-		retry       = flag.Bool("retry", false, "enable the §5.3 blocked-request retry model")
-		seed        = flag.Uint64("seed", 1, "RNG seed")
-		perCell     = flag.Bool("per-cell", true, "print the per-cell table")
-		reps        = flag.Int("reps", 1, "replications with seeds seed..seed+reps-1")
-		parallel    = flag.Int("parallel", 0, "replication workers (0 = GOMAXPROCS)")
-		timeout     = flag.Duration("timeout", 0, "cancel in-flight runs after this wall time (0 = none)")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-		dwellMean   = flag.Float64("dwell-mean", 35, "exp-dwell baseline: assumed mean dwell τ (s)")
-		dwellWindow = flag.Float64("dwell-window", 30, "exp-dwell baseline: fixed estimation window T (s)")
-		specHorizon = flag.Int("spec-horizon", 2, "mob-spec baseline: pledge cells within this many hops")
-		adaptiveMin = flag.Int("adaptive-video-min", 0, "adaptive QoS: video minimum in BUs (0 = rigid)")
-		softOverlap = flag.Float64("soft-overlap", 0, "CDMA soft hand-off overlap window (s; 0 = off)")
-		margin      = flag.Int("margin", 0, "CDMA soft-capacity hand-off margin in BUs")
-		hints       = flag.Bool("hints", false, "ITS/GPS direction hints (§7)")
-		backboneK   = flag.String("backbone", "", "wired backbone: star|mesh (empty = none)")
-		bsLink      = flag.Int("bs-link", 200, "backbone: BS uplink capacity (BUs)")
-		mscLink     = flag.Int("msc-link", 1000, "backbone: MSC/gateway or inter-BS link capacity (BUs)")
-		anchor      = flag.Bool("anchor", false, "backbone: anchor-extend re-routing instead of full re-route")
+// run is main with its environment made explicit so tests can drive the
+// CLI in-process: args are the command-line arguments (without the
+// program name) and the exit status is returned instead of calling
+// os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cellsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		policyName  = fs.String("policy", "ac3", "admission policy: ac1|ac2|ac3|static|none")
+		reserve     = fs.Int("reserve", 10, "static reservation G in BUs (policy=static)")
+		load        = fs.Float64("load", 150, "offered load per cell in BUs (Eq. 7)")
+		rvo         = fs.Float64("rvo", 1.0, "voice ratio R_vo (voice=1 BU, video=4 BU)")
+		speed       = fs.String("speed", "high", "mobility: high (80-120 km/h) | low (40-60 km/h) | min,max")
+		topoName    = fs.String("topology", "ring", "topology: ring|line|hex")
+		cells       = fs.Int("cells", 10, "number of cells (ring/line)")
+		rows        = fs.Int("rows", 4, "hex rows")
+		cols        = fs.Int("cols", 5, "hex cols")
+		wrap        = fs.Bool("wrap", true, "wrap hex grid into a torus")
+		persistence = fs.Float64("persistence", 0.8, "hex walk direction persistence")
+		direction   = fs.String("direction", "random", "1-D travel direction: random|forward|backward")
+		capacity    = fs.Int("capacity", 100, "cell link capacity in BUs")
+		target      = fs.Float64("target", 0.01, "P_HD target")
+		duration    = fs.Float64("duration", 20000, "simulated seconds (constant schedule)")
+		schedName   = fs.String("schedule", "constant", "traffic schedule: constant|daily")
+		days        = fs.Int("days", 2, "days to simulate (schedule=daily)")
+		retry       = fs.Bool("retry", false, "enable the §5.3 blocked-request retry model")
+		seed        = fs.Uint64("seed", 1, "RNG seed")
+		perCell     = fs.Bool("per-cell", true, "print the per-cell table")
+		reps        = fs.Int("reps", 1, "replications with seeds seed..seed+reps-1")
+		parallel    = fs.Int("parallel", 0, "replication workers (0 = GOMAXPROCS)")
+		timeout     = fs.Duration("timeout", 0, "cancel in-flight runs after this wall time (0 = none)")
+		auditEvery  = fs.Int("audit", 0, "verify runtime invariants every Nth event (0 = off, 1 = every event)")
+
+		dwellMean   = fs.Float64("dwell-mean", 35, "exp-dwell baseline: assumed mean dwell τ (s)")
+		dwellWindow = fs.Float64("dwell-window", 30, "exp-dwell baseline: fixed estimation window T (s)")
+		specHorizon = fs.Int("spec-horizon", 2, "mob-spec baseline: pledge cells within this many hops")
+		adaptiveMin = fs.Int("adaptive-video-min", 0, "adaptive QoS: video minimum in BUs (0 = rigid)")
+		softOverlap = fs.Float64("soft-overlap", 0, "CDMA soft hand-off overlap window (s; 0 = off)")
+		margin      = fs.Int("margin", 0, "CDMA soft-capacity hand-off margin in BUs")
+		hints       = fs.Bool("hints", false, "ITS/GPS direction hints (§7)")
+		backboneK   = fs.String("backbone", "", "wired backbone: star|mesh (empty = none)")
+		bsLink      = fs.Int("bs-link", 200, "backbone: BS uplink capacity (BUs)")
+		mscLink     = fs.Int("msc-link", 1000, "backbone: MSC/gateway or inter-BS link capacity (BUs)")
+		anchor      = fs.Bool("anchor", false, "backbone: anchor-extend re-routing instead of full re-route")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	errf := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "cellsim: "+format+"\n", a...)
+		return 2
+	}
 
 	cfg := cellnet.PaperBase()
 	cfg.Capacity = *capacity
 	cfg.PHDTarget = *target
 	cfg.StaticReserve = *reserve
 	cfg.Seed = *seed
+	if *auditEvery > 0 {
+		cfg.Audit = &audit.Checker{EveryN: *auditEvery}
+	}
 
 	switch strings.ToLower(*policyName) {
 	case "ac1":
@@ -103,7 +129,7 @@ func main() {
 		cfg.Policy = core.MobSpec
 		cfg.MobSpecHorizon = *specHorizon
 	default:
-		fatalf("unknown policy %q", *policyName)
+		return errf("unknown policy %q", *policyName)
 	}
 	if *adaptiveMin > 0 {
 		cfg.AdaptiveQoS = cellnet.AdaptiveQoSConfig{Enabled: true, VideoMinBUs: *adaptiveMin}
@@ -122,7 +148,7 @@ func main() {
 		sr = mobility.LowMobility
 	default:
 		if n, err := fmt.Sscanf(*speed, "%f,%f", &sr.MinKmh, &sr.MaxKmh); n != 2 || err != nil {
-			fatalf("bad -speed %q (want high, low, or min,max)", *speed)
+			return errf("bad -speed %q (want high, low, or min,max)", *speed)
 		}
 	}
 
@@ -135,7 +161,7 @@ func main() {
 	case "backward":
 		dir = mobility.BackwardOnly
 	default:
-		fatalf("bad -direction %q", *direction)
+		return errf("bad -direction %q", *direction)
 	}
 
 	switch strings.ToLower(*topoName) {
@@ -149,7 +175,7 @@ func main() {
 		cfg.Topology = topology.Hex(*rows, *cols, *wrap)
 		cfg.Mobility = &mobility.HexWalk{Top: cfg.Topology, DiameterKm: 1, Speed: sr, Persistence: *persistence}
 	default:
-		fatalf("unknown topology %q", *topoName)
+		return errf("unknown topology %q", *topoName)
 	}
 
 	cfg.Mix = traffic.Mix{VoiceRatio: *rvo}
@@ -165,7 +191,7 @@ func main() {
 		cfg.Estimation = predict.DailyConfig()
 		end = float64(*days) * traffic.SecondsPerDay
 	default:
-		fatalf("unknown schedule %q", *schedName)
+		return errf("unknown schedule %q", *schedName)
 	}
 	if *retry {
 		cfg.Retry = traffic.PaperRetry
@@ -181,7 +207,7 @@ func main() {
 		case "mesh":
 			cfg.Backbone = wired.MeshOfBSs(cfg.Topology, *mscLink, *bsLink, strategy)
 		default:
-			fatalf("unknown backbone %q", *backboneK)
+			return errf("unknown backbone %q", *backboneK)
 		}
 	}
 
@@ -198,32 +224,33 @@ func main() {
 		err = runner.FirstError(points)
 	}
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "cellsim: %v\n", err)
+		return 1
 	}
 
-	fmt.Printf("policy=%s topology=%s load=%.0f Rvo=%.2f speed=[%.0f,%.0f]km/h duration=%.0fs\n",
+	fmt.Fprintf(stdout, "policy=%s topology=%s load=%.0f Rvo=%.2f speed=[%.0f,%.0f]km/h duration=%.0fs\n",
 		cfg.Policy, cfg.Topology.Kind(), *load, *rvo, sr.MinKmh, sr.MaxKmh, end)
 
 	if *reps > 1 {
-		printReps(points, *seed)
-		return
+		printReps(stdout, points, *seed)
+		return 0
 	}
 	res := points[0].Result
-	fmt.Printf("requests=%d blocked=%d hand-offs=%d dropped=%d completed=%d exited=%d\n",
+	fmt.Fprintf(stdout, "requests=%d blocked=%d hand-offs=%d dropped=%d completed=%d exited=%d\n",
 		res.Total.Requested, res.Total.Blocked, res.Total.HandOffs, res.Total.Dropped,
 		res.Total.Completed, res.Total.Exited)
-	fmt.Printf("PCB=%s PHD=%s (target %.3g) Ncalc=%.3f avgBr=%.2f avgBu=%.2f exchanges=%d\n",
+	fmt.Fprintf(stdout, "PCB=%s PHD=%s (target %.3g) Ncalc=%.3f avgBr=%.2f avgBu=%.2f exchanges=%d\n",
 		stats.FormatProb(res.PCB), stats.FormatProb(res.PHD), *target,
 		res.NCalc, res.AvgBr, res.AvgBu, res.Exchanges)
 	if *adaptiveMin > 0 {
-		fmt.Printf("adaptive QoS: avg degraded %.2f BU, %d downgrades, %d upgrades\n",
+		fmt.Fprintf(stdout, "adaptive QoS: avg degraded %.2f BU, %d downgrades, %d upgrades\n",
 			res.AvgDegraded, res.QoSDowngrades, res.QoSUpgrades)
 	}
 	if *softOverlap > 0 {
-		fmt.Printf("soft hand-off: %d saved in overlap, %d expired\n", res.SoftSaved, res.SoftExpired)
+		fmt.Fprintf(stdout, "soft hand-off: %d saved in overlap, %d expired\n", res.SoftSaved, res.SoftExpired)
 	}
 	if cfg.Backbone != nil {
-		fmt.Printf("backbone: %d blocked, %d dropped, %d re-routes, %d BUs in use\n",
+		fmt.Fprintf(stdout, "backbone: %d blocked, %d dropped, %d re-routes, %d BUs in use\n",
 			res.WiredBlocked, res.WiredDropped, res.WiredReroutes, res.WiredUsed)
 	}
 
@@ -237,13 +264,14 @@ func main() {
 				fmt.Sprintf("%d", c.Bu),
 				fmt.Sprintf("%.2f", c.AvgBr), fmt.Sprintf("%.2f", c.AvgBu))
 		}
-		fmt.Println()
-		fmt.Print(tb.String())
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, tb.String())
 	}
+	return 0
 }
 
 // printReps prints per-replication results and their means.
-func printReps(points []runner.PointResult, baseSeed uint64) {
+func printReps(w io.Writer, points []runner.PointResult, baseSeed uint64) {
 	tb := stats.NewTable("seed", "PCB", "PHD", "Ncalc", "avgBr", "avgBu", "events", "wall(s)")
 	var meanPCB, meanPHD float64
 	var work time.Duration
@@ -260,12 +288,7 @@ func printReps(points []runner.PointResult, baseSeed uint64) {
 		work += p.Wall
 	}
 	n := float64(len(points))
-	fmt.Print(tb.String())
-	fmt.Printf("mean over %d reps: PCB=%s PHD=%s (%.1f CPU-seconds of simulation)\n",
+	fmt.Fprint(w, tb.String())
+	fmt.Fprintf(w, "mean over %d reps: PCB=%s PHD=%s (%.1f CPU-seconds of simulation)\n",
 		len(points), stats.FormatProb(meanPCB/n), stats.FormatProb(meanPHD/n), work.Seconds())
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "cellsim: "+format+"\n", args...)
-	os.Exit(2)
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSmokeShortRun drives the CLI end to end in-process: a short
+// audited scenario must exit 0 and print the headline result lines.
+func TestSmokeShortRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-duration", "400", "-load", "100", "-cells", "6",
+		"-audit", "16", "-per-cell=false",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, frag := range []string{"policy=AC3", "requests=", "PCB=", "PHD="} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+// TestSmokeReps exercises the replication path through the runner.
+func TestSmokeReps(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-duration", "300", "-load", "100", "-cells", "6",
+		"-reps", "2", "-parallel", "2", "-audit", "32",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "mean over 2 reps") {
+		t.Errorf("reps output missing mean line:\n%s", out.String())
+	}
+}
+
+// TestSmokePerCellTable checks the per-cell table renders.
+func TestSmokePerCellTable(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-duration", "300", "-load", "100", "-cells", "5", "-policy", "none"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Cell") {
+		t.Errorf("per-cell table missing:\n%s", out.String())
+	}
+}
+
+// TestSmokeBadFlags: usage errors must exit 2 without running anything.
+func TestSmokeBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-policy", "nope"},
+		{"-topology", "nope"},
+		{"-direction", "sideways"},
+		{"-speed", "fast"},
+		{"-schedule", "sometimes"},
+		{"-backbone", "bus"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) exit %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+		if errb.Len() == 0 {
+			t.Errorf("run(%v) printed no diagnostic", args)
+		}
+	}
+}

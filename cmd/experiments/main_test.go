@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSmokeList: -list must enumerate the full experiment registry.
+func TestSmokeList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	lines := strings.Count(strings.TrimRight(out.String(), "\n"), "\n") + 1
+	if lines != 19 {
+		t.Errorf("-list printed %d experiments, want 19:\n%s", lines, out.String())
+	}
+}
+
+// TestSmokeRunOne runs one reduced-scale experiment with the audit on
+// and CSV output, checking the report frame and the CSV file.
+func TestSmokeRunOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full (reduced-scale) experiment")
+	}
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-run", "fig7", "-duration", "400", "-loads", "100",
+		"-audit", "64", "-out", dir,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, frag := range []string{"=== fig7", "paper:", "(fig7 in"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "fig7*.csv")); len(m) == 0 {
+		t.Errorf("-out wrote no fig7 CSV into %s", dir)
+	}
+}
+
+// TestSmokeBadFlags: usage errors must exit 2 with a diagnostic.
+func TestSmokeBadFlags(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-run", "no-such-experiment"},
+		{"-run", "fig7", "-loads", "100,banana"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) exit %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+		if errb.Len() == 0 {
+			t.Errorf("run(%v) printed no diagnostic", args)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package cellnet
 import (
 	"fmt"
 
+	"cellqos/internal/audit"
 	"cellqos/internal/core"
 	"cellqos/internal/mobility"
 	"cellqos/internal/predict"
@@ -86,6 +87,13 @@ type Config struct {
 	// records them: the movement happened even though the connection
 	// died, and the estimator models mobility, not admission.
 	SkipDroppedDepartures bool
+	// Audit, when non-nil, re-verifies the bandwidth ledgers, counters,
+	// pledges and wired reservations after simulation events (sampled per
+	// audit.Checker.EveryN) and in full at every Snapshot; a violation
+	// panics with a structured report. Nil — the default — costs nothing.
+	// A Checker is stateless, so one may be shared across the concurrent
+	// Networks of a runner sweep.
+	Audit *audit.Checker
 	// TraceCells lists cells whose T_est, B_r and cumulative P_HD are
 	// recorded over time (Figs. 10–11).
 	TraceCells []topology.CellID

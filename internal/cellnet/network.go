@@ -119,6 +119,16 @@ func New(cfg Config) (*Network, error) {
 		// don't accumulate out-of-date quadruplets in idle pairs.
 		n.scheduleSweep(cfg.Estimation.Period)
 	}
+	if cfg.Audit != nil {
+		// Invariant auditing at event boundaries: every event's state
+		// mutations are complete when the hook fires, so any ledger drift
+		// is pinned to the event that introduced it.
+		n.sim.AfterEvent(func() {
+			if cfg.Audit.Sample(n.sim.Fired()) {
+				n.auditNow()
+			}
+		})
+	}
 	return n, nil
 }
 
@@ -194,6 +204,14 @@ func (n *Network) request(c *cell, min, max, nRet int) {
 		// Wired-link reservation (§2/§7 extension): the backbone must
 		// also carry the connection, or it blocks.
 		wpath, admitted = n.cfg.Backbone.Connect(c.id, min)
+		if !admitted && len(pledges) > 0 {
+			// The MobSpec pledges were provisional on the whole admission:
+			// a wired block means no connection, so roll them back.
+			for _, id := range pledges {
+				n.cells[id].engine.Unpledge(min)
+			}
+			pledges = nil
+		}
 	}
 	c.counters.RecordRequest(!admitted)
 	c.hourly.RecordRequest(now, !admitted)

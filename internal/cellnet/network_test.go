@@ -3,6 +3,7 @@ package cellnet
 import (
 	"testing"
 
+	"cellqos/internal/audit"
 	"cellqos/internal/core"
 	"cellqos/internal/mobility"
 	"cellqos/internal/predict"
@@ -10,6 +11,11 @@ import (
 	"cellqos/internal/traffic"
 	"cellqos/internal/wired"
 )
+
+// testAudit is attached to every cellnet test scenario: the invariant
+// set is verified at sampled event boundaries (every 32nd event keeps
+// the suite's wall-clock overhead ~25%) and in full at every Snapshot.
+var testAudit = &audit.Checker{EveryN: 32}
 
 // scenario builds a paper-style 10-cell ring config.
 func scenario(policy core.Policy, load, rvo float64, sr mobility.SpeedRange, seed uint64) Config {
@@ -24,6 +30,7 @@ func scenario(policy core.Policy, load, rvo float64, sr mobility.SpeedRange, see
 		MinKmh: sr.MinKmh, MaxKmh: sr.MaxKmh,
 	}
 	cfg.Seed = seed
+	cfg.Audit = testAudit
 	return cfg
 }
 
@@ -245,6 +252,7 @@ func TestForwardOnlyLineBorderCell(t *testing.T) {
 	cfg.Mobility = &mobility.Linear{Top: top, DiameterKm: 1, Speed: mobility.HighMobility, Direction: mobility.ForwardOnly}
 	cfg.Schedule = traffic.Constant{Lambda: traffic.RateForLoad(200, cfg.Mix, cfg.MeanLifetime), MinKmh: 80, MaxKmh: 120}
 	cfg.Seed = 14
+	cfg.Audit = testAudit
 	res := MustNew(cfg).Run(3000)
 	if res.Cells[0].Counters.HandOffs != 0 {
 		t.Fatalf("cell 0 received %d hand-offs in one-way flow", res.Cells[0].Counters.HandOffs)
@@ -285,6 +293,7 @@ func TestHexNetworkRuns(t *testing.T) {
 	cfg.Mobility = &mobility.HexWalk{Top: top, DiameterKm: 1, Speed: mobility.HighMobility, Persistence: 0.8}
 	cfg.Schedule = traffic.Constant{Lambda: traffic.RateForLoad(150, cfg.Mix, cfg.MeanLifetime), MinKmh: 80, MaxKmh: 120}
 	cfg.Seed = 16
+	cfg.Audit = testAudit
 	res := MustNew(cfg).Run(2000)
 	if res.Total.HandOffs == 0 {
 		t.Fatal("hex run produced no hand-offs")
@@ -305,6 +314,7 @@ func TestTimeVaryingScheduleRuns(t *testing.T) {
 	cfg.Schedule = traffic.PaperDay(cfg.Mix, cfg.MeanLifetime)
 	cfg.Retry = traffic.PaperRetry
 	cfg.Seed = 17
+	cfg.Audit = testAudit
 	res := MustNew(cfg).Run(12 * 3600) // half a day covers the morning peak
 	if len(res.Hourly) < 10 {
 		t.Fatalf("hourly buckets = %d, want ≥ 10", len(res.Hourly))
@@ -649,6 +659,7 @@ func TestDailySweepKeepsCacheBounded(t *testing.T) {
 	cfg.Mobility = &mobility.Linear{Top: top, DiameterKm: 1, Speed: mobility.HighMobility}
 	cfg.Schedule = traffic.Constant{Lambda: traffic.RateForLoad(60, cfg.Mix, cfg.MeanLifetime), MinKmh: 80, MaxKmh: 120}
 	cfg.Seed = 3
+	cfg.Audit = testAudit
 	n := MustNew(cfg)
 	n.Run(20000)
 	evicted := uint64(0)
@@ -681,6 +692,7 @@ func TestEverythingEnabledInteraction(t *testing.T) {
 	cfg.DirectionHints = true
 	cfg.Backbone = wired.MeshOfBSs(top, 300, 300, wired.FullReroute)
 	cfg.Seed = 71
+	cfg.Audit = testAudit
 	n := MustNew(cfg)
 	res := n.Run(10 * 3600) // through the morning peak
 

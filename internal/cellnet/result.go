@@ -96,8 +96,13 @@ func (n *Network) ResetStats() {
 }
 
 // Snapshot builds a Result from the current statistics without
-// advancing the simulation.
+// advancing the simulation. When auditing is configured the full
+// invariant check runs first — regardless of event sampling — so no
+// Result is ever built from ledgers that would fail the audit.
 func (n *Network) Snapshot() *Result {
+	if n.cfg.Audit != nil {
+		n.auditNow()
+	}
 	now := n.sim.Now()
 	res := &Result{
 		Duration: now,

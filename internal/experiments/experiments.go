@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"cellqos/internal/audit"
 	"cellqos/internal/cellnet"
 	"cellqos/internal/core"
 	"cellqos/internal/mobility"
@@ -41,6 +42,10 @@ type Options struct {
 	TraceDuration float64
 	// Days is the Fig. 14 run length in days (default 2, as in §5.3).
 	Days int
+	// Fig14Hours, when positive, overrides Days with a run of that many
+	// hours for the fig14 experiment — the golden corpus and quick tests
+	// use a few hours instead of a multi-day sweep.
+	Fig14Hours int
 	// Loads is the offered-load sweep (default 60..300).
 	Loads []float64
 	// Seed drives all RNG.
@@ -53,6 +58,10 @@ type Options struct {
 	Context context.Context
 	// Sink, when non-nil, observes per-point progress.
 	Sink runner.Sink
+	// Audit, when non-nil, attaches the runtime invariant checker to
+	// every scenario of every sweep (cellnet.Config.Audit). The checker
+	// is stateless, so sharing one across parallel workers is safe.
+	Audit *audit.Checker
 }
 
 // withDefaults fills in zero fields.
@@ -153,6 +162,11 @@ func Lookup(id string) (Experiment, bool) {
 // runAll executes scenarios on the shared runner and returns their
 // points in declaration order, failing on the first point error.
 func runAll(opt Options, scens []runner.Scenario) ([]runner.PointResult, error) {
+	if opt.Audit != nil {
+		for i := range scens {
+			scens[i].Config.Audit = opt.Audit
+		}
+	}
 	r := &runner.Runner{Parallel: opt.Parallel, Sink: opt.Sink}
 	ctx := opt.Context
 	if ctx == nil {

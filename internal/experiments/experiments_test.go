@@ -7,10 +7,13 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"cellqos/internal/audit"
 )
 
 // quickOpt shrinks runs so the whole suite stays test-sized; shape
-// assertions are correspondingly lenient.
+// assertions are correspondingly lenient. Every experiment test runs
+// with the invariant audit attached (sampled; full check per Snapshot).
 func quickOpt() Options {
 	return Options{
 		Duration:      900,
@@ -18,6 +21,7 @@ func quickOpt() Options {
 		Days:          1,
 		Loads:         []float64{100, 300},
 		Seed:          7,
+		Audit:         &audit.Checker{EveryN: 64},
 	}
 }
 

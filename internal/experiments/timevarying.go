@@ -21,6 +21,9 @@ func Fig14(opt Options) (*Report, error) {
 	mix := traffic.Mix{VoiceRatio: 1.0}
 	sched := traffic.PaperDay(mix, traffic.MeanLifetime)
 	end := float64(opt.Days) * traffic.SecondsPerDay
+	if opt.Fig14Hours > 0 {
+		end = float64(opt.Fig14Hours) * traffic.SecondsPerHour
+	}
 
 	rep := &Report{
 		ID:    "fig14",

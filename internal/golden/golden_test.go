@@ -1,0 +1,49 @@
+package golden
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffIdentical(t *testing.T) {
+	if d, ok := Diff([]byte("a\nb\n"), []byte("a\nb\n")); !ok || d != "" {
+		t.Fatalf("identical inputs reported diff: %q", d)
+	}
+}
+
+func TestDiffFirstDivergence(t *testing.T) {
+	want := []byte("report fig7\nrow 1,0.5\nrow 2,0.7\n")
+	got := []byte("report fig7\nrow 1,0.5\nrow 2,0.9\n")
+	d, ok := Diff(want, got)
+	if ok {
+		t.Fatal("differing inputs reported equal")
+	}
+	for _, frag := range []string{"line 3", "row 2,0.7", "row 2,0.9"} {
+		if !strings.Contains(d, frag) {
+			t.Errorf("diff %q missing %q", d, frag)
+		}
+	}
+}
+
+func TestDiffTruncation(t *testing.T) {
+	// No trailing newlines: a clean truncation shares the full prefix.
+	want := []byte("a\nb\nc")
+	got := []byte("a\nb")
+	d, ok := Diff(want, got)
+	if ok {
+		t.Fatal("truncated input reported equal")
+	}
+	if !strings.Contains(d, "missing") || !strings.Contains(d, "c") {
+		t.Errorf("truncation diff unreadable: %q", d)
+	}
+	d, ok = Diff(got, want)
+	if ok || !strings.Contains(d, "adds") {
+		t.Errorf("extension diff unreadable: %q", d)
+	}
+}
+
+func TestPathNaming(t *testing.T) {
+	if p := Path("fig7"); p != "testdata/golden/fig7.golden" {
+		t.Fatalf("Path = %q", p)
+	}
+}

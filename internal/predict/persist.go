@@ -143,13 +143,16 @@ func (e *Estimator) ReadFrom(r io.Reader) (int64, error) {
 		}
 		prev, next := topology.LocalIndex(prev32), topology.LocalIndex(next32)
 		k := pairKey{prev, next}
-		p := e.pairs[k]
-		if p == nil {
-			p = &pairData{}
-			e.pairs[k] = p
-			e.byPrev[prev] = append(e.byPrev[prev], p)
-			e.nexts[prev] = append(e.nexts[prev], next)
+		if _, dup := e.pairs[k]; dup {
+			// WriteTo emits each pair exactly once; a duplicate means the
+			// input is corrupt (and concatenating the sample lists could
+			// break their event ordering, making the result unserializable).
+			return n, fmt.Errorf("predict: duplicate pair (%d,%d)", prev, next)
 		}
+		p := &pairData{}
+		e.pairs[k] = p
+		e.byPrev[prev] = append(e.byPrev[prev], p)
+		e.nexts[prev] = append(e.nexts[prev], next)
 		lastSample := math.Inf(-1)
 		for j := uint32(0); j < count; j++ {
 			var ev, soj float64

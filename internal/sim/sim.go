@@ -61,13 +61,14 @@ func (q *eventQueue) Pop() any {
 // Simulator is a discrete-event simulation driver. It is not safe for
 // concurrent use; all events run on the caller's goroutine.
 type Simulator struct {
-	now      float64
-	seq      uint64
-	queue    eventQueue
-	canceled map[uint64]*item
-	fired    uint64
-	running  bool
-	stopped  bool
+	now        float64
+	seq        uint64
+	queue      eventQueue
+	canceled   map[uint64]*item
+	fired      uint64
+	running    bool
+	stopped    bool
+	afterEvent func()
 }
 
 // New returns an empty simulator with the clock at time 0.
@@ -141,6 +142,13 @@ func (s *Simulator) Cancel(h Handle) bool {
 // called from within an event callback.
 func (s *Simulator) Stop() { s.stopped = true }
 
+// AfterEvent registers fn to run after every fired event, at the event
+// boundary: the event's callback has returned and all of its state
+// mutations are visible, but the clock has not advanced further. Higher
+// layers hang invariant checkers here (internal/audit). A nil fn removes
+// the hook; when no hook is set the kernel pays only a nil check.
+func (s *Simulator) AfterEvent(fn func()) { s.afterEvent = fn }
+
 // step fires the earliest pending event. It reports false when the queue
 // is empty.
 func (s *Simulator) step() bool {
@@ -156,6 +164,9 @@ func (s *Simulator) step() bool {
 		s.now = it.at
 		s.fired++
 		it.fn(s)
+		if s.afterEvent != nil {
+			s.afterEvent()
+		}
 		return true
 	}
 	return false
