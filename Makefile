@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench golden fuzz verify
+.PHONY: build test vet race bench golden fuzz chaos verify
 
 build:
 	$(GO) build ./...
@@ -35,5 +35,12 @@ golden:
 # targets individually with a longer -fuzztime for real hunting).
 fuzz:
 	$(GO) test -fuzz=FuzzPersistRoundTrip -fuzztime=30s ./internal/predict/
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/signaling/
+
+# chaos drives the distributed signaling plane through scripted
+# partitions, crashes and lossy links under the race detector; -count=2
+# also proves the suite leaves no state behind between runs.
+chaos:
+	$(GO) test -race -count=2 ./internal/chaos/ ./internal/signaling/ ./internal/faults/
 
 verify: build vet race

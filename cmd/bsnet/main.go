@@ -7,10 +7,19 @@
 // Usage:
 //
 //	bsnet [-cells 10] [-mode mesh|star] [-requests 200] [-load 200] [-audit]
+//	bsnet -fault-drop 0.15 -call-timeout 25ms -audit
+//	bsnet -fault-partition 0 -fault-fallback guard -breaker-threshold 3
 //
 // With -audit every base station's bandwidth ledger is verified against
 // the paper's conservation invariants (internal/audit) after the drive;
 // a violation fails the run with a structured diagnostic.
+//
+// The -fault-* flags route every BS-side connection through the
+// internal/faults injector (seedable frame drop, corruption, delay, and
+// one-way partitions), and the -call-*/-breaker-* flags configure the
+// resilience layer that survives it: per-attempt deadlines with bounded
+// retry, and per-link circuit breakers. A faulted run reports the
+// injected-fault and degraded-mode counters after the drive.
 package main
 
 import (
@@ -20,9 +29,11 @@ import (
 	"math/rand/v2"
 	"net"
 	"os"
+	"time"
 
 	"cellqos/internal/audit"
 	"cellqos/internal/core"
+	"cellqos/internal/faults"
 	"cellqos/internal/predict"
 	"cellqos/internal/signaling"
 	"cellqos/internal/stats"
@@ -48,9 +59,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		load     = fs.Float64("load", 200, "offered load used to pre-populate cells")
 		seed     = fs.Uint64("seed", 1, "RNG seed")
 		doAudit  = fs.Bool("audit", false, "verify every BS's bandwidth ledger after the drive")
+
+		faultDrop      = fs.Float64("fault-drop", 0, "per-frame drop probability on every BS link")
+		faultCorrupt   = fs.Float64("fault-corrupt", 0, "per-frame bit-flip probability on every BS link")
+		faultDelay     = fs.Duration("fault-delay", 0, "fixed per-frame write delay on every BS link")
+		faultSeed      = fs.Uint64("fault-seed", 1, "fault-injection RNG seed (per-link streams derive from it)")
+		faultPartition = fs.Int("fault-partition", -1, "black-hole this cell's outbound frames for the whole drive (-1 = none)")
+		faultFallback  = fs.String("fault-fallback", "decay", "degradation policy for unreachable neighbors: decay|guard|zero")
+		callTimeout    = fs.Duration("call-timeout", 50*time.Millisecond, "per-attempt peer-query deadline when faults are active")
+		callRetries    = fs.Int("call-retries", 3, "peer-query attempts (incl. the first) when faults are active")
+		brkThreshold   = fs.Int("breaker-threshold", 0, "consecutive failures that open a link's circuit breaker (0 = off)")
+		brkCooldown    = fs.Duration("breaker-cooldown", 250*time.Millisecond, "breaker open→half-open cooldown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	var fallback core.Fallback
+	switch *faultFallback {
+	case "decay":
+		fallback = core.Fallback{Mode: core.FallbackDecay}
+	case "guard":
+		fallback = core.Fallback{Mode: core.FallbackGuard}
+	case "zero":
+		fallback = core.Fallback{Mode: core.FallbackZero}
+	default:
+		fmt.Fprintf(stderr, "bsnet: unknown -fault-fallback %q\n", *faultFallback)
+		return 2
+	}
+	faulty := *faultDrop > 0 || *faultCorrupt > 0 || *faultDelay > 0 || *faultPartition >= 0
+	var inj *injector
+	if faulty {
+		if *faultPartition >= *cells {
+			fmt.Fprintf(stderr, "bsnet: -fault-partition %d outside the %d-cell ring\n", *faultPartition, *cells)
+			return 2
+		}
+		inj = &injector{
+			cfg:     faults.Config{Seed: *faultSeed, Drop: *faultDrop, Corrupt: *faultCorrupt, Delay: *faultDelay},
+			byOwner: map[int][]*faults.Link{},
+		}
 	}
 
 	top := topology.Ring(*cells)
@@ -62,7 +108,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			PHDTarget:  0.01,
 			TStart:     1,
 			Estimation: predict.StationaryConfig(),
+			Fallback:   fallback,
 		})
+		if faulty {
+			nodes[i].SetCallPolicy(signaling.CallPolicy{
+				Timeout:     *callTimeout,
+				MaxAttempts: *callRetries,
+				Backoff:     5 * time.Millisecond,
+				JitterSeed:  *faultSeed,
+			})
+		}
+		if *brkThreshold > 0 {
+			nodes[i].SetBreakerConfig(*brkThreshold, *brkCooldown)
+		}
 	}
 	defer func() {
 		for _, n := range nodes {
@@ -77,13 +135,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var mscLinks []*signaling.Peer
 	switch *mode {
 	case "mesh":
-		if err := wireMeshTCP(top, nodes, links); err != nil {
+		if err := wireMeshTCP(top, nodes, links, inj); err != nil {
 			fmt.Fprintf(stderr, "bsnet: %v\n", err)
 			return 1
 		}
 	case "star":
 		msc := signaling.NewMSC()
-		ml, err := wireStarTCP(nodes, msc, links)
+		ml, err := wireStarTCP(nodes, msc, links, inj)
 		if err != nil {
 			fmt.Fprintf(stderr, "bsnet: %v\n", err)
 			return 1
@@ -94,6 +152,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	fmt.Fprintf(stdout, "wired %d base stations over TCP (%s)\n", *cells, *mode)
+	if faulty {
+		fmt.Fprintf(stdout, "fault injection: drop=%.2f corrupt=%.2f delay=%s partition=%d fallback=%s seed=%d\n",
+			*faultDrop, *faultCorrupt, *faultDelay, *faultPartition, *faultFallback, *faultSeed)
+		for _, l := range inj.byOwner[*faultPartition] {
+			l.Partition()
+		}
+	}
 
 	// Pre-populate each cell with connections and mobility history so
 	// reservations are non-trivial, then drive admission requests.
@@ -160,6 +225,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprint(stdout, tb.String())
 	fmt.Fprintf(stdout, "total protocol frames sent: %d\n", totalFrames)
 
+	if faulty {
+		var c faults.Counters
+		for _, ls := range inj.byOwner {
+			for _, l := range ls {
+				lc := l.Counters()
+				c.Dropped += lc.Dropped
+				c.Corrupted += lc.Corrupted
+				c.Delayed += lc.Delayed
+				c.Blackholed += lc.Blackholed
+			}
+		}
+		fmt.Fprintf(stdout, "faults injected: %d dropped, %d corrupted, %d delayed, %d blackholed\n",
+			c.Dropped, c.Corrupted, c.Delayed, c.Blackholed)
+		var remoteErrs, retries, timeouts, opens, degBr, degAdm uint64
+		for _, n := range nodes {
+			remoteErrs += n.RemoteErrors()
+			degBr += n.Engine().DegradedBrCalcs()
+			degAdm += n.Engine().DegradedAdmissions()
+			for _, p := range links[n] {
+				retries += p.Stats().Retries.Load()
+				timeouts += p.Stats().Timeouts.Load()
+				if b := p.Breaker(); b != nil {
+					opens += b.Opens()
+				}
+			}
+		}
+		fmt.Fprintf(stdout, "degraded mode: %d failed queries (%d timeouts, %d retries, %d breaker opens), %d degraded B_r calcs, %d degraded admissions\n",
+			remoteErrs, timeouts, retries, opens, degBr, degAdm)
+	}
+
 	if *doAudit {
 		if err := auditNodes(nodes); err != nil {
 			fmt.Fprintf(stderr, "bsnet: %v\n", err)
@@ -189,9 +284,33 @@ func auditNodes(nodes []*signaling.BSNode) (err error) {
 	return nil
 }
 
+// injector routes BS-side connections through internal/faults links,
+// giving each its own deterministic PCG stream derived from the base
+// seed, and remembers them per owning cell so a -fault-partition cell's
+// outbound links can be black-holed after wiring. A nil injector wraps
+// nothing. Wrapping happens only on the wiring goroutine.
+type injector struct {
+	cfg     faults.Config
+	n       uint64
+	byOwner map[int][]*faults.Link
+}
+
+// wrap wraps owner's side of a connection (nil injector: pass-through).
+func (in *injector) wrap(owner int, conn io.ReadWriteCloser) io.ReadWriteCloser {
+	if in == nil {
+		return conn
+	}
+	c := in.cfg
+	in.n++
+	c.Seed = in.cfg.Seed + in.n
+	l := faults.Wrap(conn, c)
+	in.byOwner[owner] = append(in.byOwner[owner], l)
+	return l
+}
+
 // wireMeshTCP connects every neighboring pair over loopback TCP,
 // recording each created link in links.
-func wireMeshTCP(top *topology.Topology, nodes []*signaling.BSNode, links map[*signaling.BSNode][]*signaling.Peer) error {
+func wireMeshTCP(top *topology.Topology, nodes []*signaling.BSNode, links map[*signaling.BSNode][]*signaling.Peer, inj *injector) error {
 	for a := 0; a < len(nodes); a++ {
 		for _, nb := range top.Neighbors(topology.CellID(a)) {
 			if int(nb) <= a {
@@ -223,12 +342,12 @@ func wireMeshTCP(top *topology.Topology, nodes []*signaling.BSNode, links map[*s
 			if err != nil {
 				return err
 			}
-			links[nodes[nb]] = append(links[nodes[nb]], nodes[nb].Attach(signaling.NodeID(a), conn))
+			links[nodes[nb]] = append(links[nodes[nb]], nodes[nb].Attach(signaling.NodeID(a), inj.wrap(int(nb), conn)))
 			h := <-acc
 			if h.err != nil {
 				return h.err
 			}
-			links[nodes[a]] = append(links[nodes[a]], nodes[a].Attach(h.remote, h.conn))
+			links[nodes[a]] = append(links[nodes[a]], nodes[a].Attach(h.remote, inj.wrap(a, h.conn)))
 			ln.Close()
 		}
 	}
@@ -236,8 +355,11 @@ func wireMeshTCP(top *topology.Topology, nodes []*signaling.BSNode, links map[*s
 }
 
 // wireStarTCP connects every BS to an in-process MSC over loopback TCP,
-// recording each BS-side link in links.
-func wireStarTCP(nodes []*signaling.BSNode, msc *signaling.MSC, links map[*signaling.BSNode][]*signaling.Peer) ([]*signaling.Peer, error) {
+// recording each BS-side link in links. Faults are injected on the BS
+// side of each uplink only — the MSC side is attached from the accept
+// goroutine, and one faulty end per pipe already exercises both
+// directions of every relayed query.
+func wireStarTCP(nodes []*signaling.BSNode, msc *signaling.MSC, links map[*signaling.BSNode][]*signaling.Peer, inj *injector) ([]*signaling.Peer, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -266,7 +388,7 @@ func wireStarTCP(nodes []*signaling.BSNode, msc *signaling.MSC, links map[*signa
 		if err != nil {
 			return nil, err
 		}
-		links[n] = append(links[n], n.Attach(signaling.MSCNode, conn))
+		links[n] = append(links[n], n.Attach(signaling.MSCNode, inj.wrap(int(n.ID()), conn)))
 	}
 	if err := <-done; err != nil {
 		return nil, err

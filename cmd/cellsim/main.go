@@ -92,6 +92,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		bsLink      = fs.Int("bs-link", 200, "backbone: BS uplink capacity (BUs)")
 		mscLink     = fs.Int("msc-link", 1000, "backbone: MSC/gateway or inter-BS link capacity (BUs)")
 		anchor      = fs.Bool("anchor", false, "backbone: anchor-extend re-routing instead of full re-route")
+
+		faultDrop     = fs.Float64("fault-drop", 0, "probability each peer information exchange fails (0 = healthy signaling)")
+		faultFallback = fs.String("fault-fallback", "decay", "degradation policy for unreachable neighbors: decay|guard|zero")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -108,6 +111,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Seed = *seed
 	if *auditEvery > 0 {
 		cfg.Audit = &audit.Checker{EveryN: *auditEvery}
+	}
+	if *faultDrop > 0 {
+		var fb core.Fallback
+		switch strings.ToLower(*faultFallback) {
+		case "decay":
+			fb = core.Fallback{Mode: core.FallbackDecay}
+		case "guard":
+			fb = core.Fallback{Mode: core.FallbackGuard}
+		case "zero":
+			fb = core.Fallback{Mode: core.FallbackZero}
+		default:
+			return errf("unknown -fault-fallback %q", *faultFallback)
+		}
+		cfg.Faults = cellnet.FaultConfig{Enabled: true, Drop: *faultDrop, Fallback: fb}
 	}
 
 	switch strings.ToLower(*policyName) {
@@ -248,6 +265,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *softOverlap > 0 {
 		fmt.Fprintf(stdout, "soft hand-off: %d saved in overlap, %d expired\n", res.SoftSaved, res.SoftExpired)
+	}
+	if *faultDrop > 0 {
+		fmt.Fprintf(stdout, "signaling faults: %d exchanges failed, %d degraded B_r calcs, %d degraded admissions\n",
+			res.PeerFaults, res.DegradedBrCalcs, res.DegradedAdmissions)
 	}
 	if cfg.Backbone != nil {
 		fmt.Fprintf(stdout, "backbone: %d blocked, %d dropped, %d re-routes, %d BUs in use\n",

@@ -72,3 +72,31 @@ func TestSmokeBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestSmokeFaults runs the in-process fault model: exchanges must fail,
+// the engines must degrade per the guard fallback, the invariant audit
+// must stay clean, and the counters must reach the summary line.
+func TestSmokeFaults(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-duration", "500", "-load", "150", "-cells", "5",
+		"-fault-drop", "0.2", "-fault-fallback", "guard",
+		"-audit", "16", "-per-cell=false"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "signaling faults: ") {
+		t.Fatalf("fault summary missing:\n%s", s)
+	}
+	if strings.Contains(s, "signaling faults: 0 exchanges failed") {
+		t.Errorf("20%% drop rate injected no faults:\n%s", s)
+	}
+}
+
+// TestSmokeFaultFlagValidation: a bad fallback name must exit 2.
+func TestSmokeFaultFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-fault-drop", "0.1", "-fault-fallback", "hope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 (stderr: %s)", code, errb.String())
+	}
+}

@@ -126,6 +126,13 @@ func (c *Checker) Engine(cell string, now float64, l core.Ledger) {
 			fail("test-window", "T_est = %v outside the controller's [1s, ∞) range", l.Test)
 		}
 	}
+	if l.DegradedBrCalcs > l.BrCalcs {
+		fail("degraded-accounting", "degraded B_r calcs %d exceed total B_r calcs %d",
+			l.DegradedBrCalcs, l.BrCalcs)
+	}
+	if l.LastBrDegraded && l.DegradedBrCalcs == 0 {
+		fail("degraded-accounting", "last B_r flagged degraded but no degraded calc was counted")
+	}
 }
 
 // Counters verifies counter consistency: a scope can never block more

@@ -30,6 +30,15 @@ func (n *Network) auditNow() {
 		l := c.engine.Ledger()
 		ck.Engine(name, now, l)
 		ck.Counters(name, now, c.counters)
+		if !n.cfg.Faults.Enabled && (l.DegradedBrCalcs != 0 || l.DegradedAdmissions != 0) {
+			// A fault-free in-process network can never lose a peer
+			// exchange; any degraded-mode accounting here means an
+			// ok=false path fired spuriously and the fallback policy is
+			// silently distorting B_r.
+			ck.Failf("degraded-accounting", name, now, fmt.Sprintf("%+v", l),
+				"fault-free run recorded %d degraded B_r calcs / %d degraded admissions",
+				l.DegradedBrCalcs, l.DegradedAdmissions)
+		}
 		engineConns += l.Connections
 		sys.Add(&c.counters)
 	}

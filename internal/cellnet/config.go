@@ -87,6 +87,13 @@ type Config struct {
 	// records them: the movement happened even though the connection
 	// died, and the estimator models mobility, not admission.
 	SkipDroppedDepartures bool
+	// Faults models a degraded signaling plane inside the in-process
+	// simulation (the distributed deployment injects real link faults via
+	// internal/faults): each peer information exchange independently
+	// fails with probability Faults.Drop, drawn from a dedicated
+	// deterministic RNG stream, and the engines degrade per
+	// Faults.Fallback instead of silently under-reserving.
+	Faults FaultConfig
 	// Audit, when non-nil, re-verifies the bandwidth ledgers, counters,
 	// pledges and wired reservations after simulation events (sampled per
 	// audit.Checker.EveryN) and in full at every Snapshot; a violation
@@ -99,6 +106,29 @@ type Config struct {
 	TraceCells []topology.CellID
 	// TraceMinGap thins trace series (seconds between kept points).
 	TraceMinGap float64
+}
+
+// FaultConfig parameterizes in-simulation signaling faults.
+type FaultConfig struct {
+	Enabled bool
+	// Drop is the probability that one peer exchange fails (both the
+	// request and any response lost; the caller sees an unreachable
+	// neighbor).
+	Drop float64
+	// Fallback selects what an unreachable neighbor contributes to B_r
+	// (core degradation policy; zero value = last-known with decay).
+	Fallback core.Fallback
+}
+
+// Validate checks fault-model invariants.
+func (f FaultConfig) Validate() error {
+	if !f.Enabled {
+		return nil
+	}
+	if f.Drop < 0 || f.Drop > 1 {
+		return fmt.Errorf("cellnet: fault drop probability %v outside [0,1]", f.Drop)
+	}
+	return f.Fallback.Validate()
 }
 
 // AdaptiveQoSConfig parameterizes the adaptive-QoS integration.
@@ -181,6 +211,9 @@ func (c Config) Validate() error {
 	if err := c.AdaptiveQoS.Validate(); err != nil {
 		return err
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	for _, id := range c.TraceCells {
 		if !c.Topology.Valid(id) {
 			return fmt.Errorf("cellnet: trace cell %d out of range", id)
@@ -208,6 +241,7 @@ func (c Config) engineConfig(id topology.CellID) core.Config {
 		Calendar:       c.Calendar,
 		ExpDwellMean:   c.ExpDwellMean,
 		ExpDwellWindow: c.ExpDwellWindow,
+		Fallback:       c.Faults.Fallback,
 		HandOffMargin:  c.HandOffMargin,
 	}
 }

@@ -75,6 +75,12 @@ type Network struct {
 	// Soft hand-off outcome counters (§7 CDMA extension).
 	softSaved   uint64 // hand-offs completed within the overlap window
 	softExpired uint64 // pending hand-offs dropped at window expiry
+
+	// Fault-injection state (Config.Faults): a dedicated RNG stream so
+	// the fault schedule never perturbs the traffic/mobility draws, and
+	// the count of injected exchange failures.
+	faultRng   *rand.Rand
+	peerFaults uint64
 }
 
 // New builds a network from a validated config.
@@ -92,6 +98,9 @@ func New(cfg Config) (*Network, error) {
 		sim:   sim.New(),
 		rng:   rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15)),
 		conns: make(map[core.ConnID]*connection),
+	}
+	if cfg.Faults.Enabled {
+		n.faultRng = rand.New(rand.NewPCG(cfg.Seed, 0xfa17_fa17_fa17_fa17))
 	}
 	num := cfg.Topology.NumCells()
 	n.cells = make([]*cell, num)
@@ -561,7 +570,10 @@ func (n *Network) noteBr(c *cell, now float64) {
 
 // memPeers implements core.Peers by direct in-process calls to neighbor
 // engines, counting one exchange per query (what a real deployment would
-// send over the Fig. 1 signaling network).
+// send over the Fig. 1 signaling network). With Config.Faults enabled,
+// each exchange independently fails with the configured probability —
+// the in-process model of a lossy signaling plane — and the caller's
+// engine degrades per its Fallback policy.
 type memPeers struct {
 	n *Network
 	c *cell
@@ -575,36 +587,60 @@ func (p *memPeers) neighbor(li topology.LocalIndex) *cell {
 	return p.n.cells[gid]
 }
 
+// faulted draws one Bernoulli trial from the dedicated fault stream.
+func (p *memPeers) faulted() bool {
+	if p.n.faultRng == nil {
+		return false
+	}
+	if p.n.faultRng.Float64() >= p.n.cfg.Faults.Drop {
+		return false
+	}
+	p.n.peerFaults++
+	return true
+}
+
 // OutgoingReservation implements core.Peers (Eq. 5 at the neighbor).
-func (p *memPeers) OutgoingReservation(li topology.LocalIndex, now, test float64) float64 {
+func (p *memPeers) OutgoingReservation(li topology.LocalIndex, now, test float64) (float64, bool) {
 	p.c.exchanges++
+	if p.faulted() {
+		return 0, false
+	}
 	nb := p.neighbor(li)
 	toward, ok := p.n.cfg.Topology.LocalOf(nb.id, p.c.id)
 	if !ok {
 		panic("cellnet: asymmetric neighborhood")
 	}
-	return nb.engine.OutgoingReservation(now, toward, test)
+	return nb.engine.OutgoingReservation(now, toward, test), true
 }
 
 // Snapshot implements core.Peers.
-func (p *memPeers) Snapshot(li topology.LocalIndex) (int, int, float64) {
+func (p *memPeers) Snapshot(li topology.LocalIndex) (int, int, float64, bool) {
 	p.c.exchanges++
+	if p.faulted() {
+		return 0, 0, 0, false
+	}
 	nb := p.neighbor(li)
-	return nb.engine.UsedBandwidth(), nb.engine.Capacity(), nb.engine.LastTargetReservation()
+	return nb.engine.UsedBandwidth(), nb.engine.Capacity(), nb.engine.LastTargetReservation(), true
 }
 
 // RecomputeReservation implements core.Peers: the neighbor recomputes
 // its own B_r (Eq. 6) with its own T_est and peers.
-func (p *memPeers) RecomputeReservation(li topology.LocalIndex, now float64) (int, int, float64) {
+func (p *memPeers) RecomputeReservation(li topology.LocalIndex, now float64) (int, int, float64, bool) {
 	p.c.exchanges++
+	if p.faulted() {
+		return 0, 0, 0, false
+	}
 	nb := p.neighbor(li)
 	br := nb.engine.ComputeTargetReservation(now, nb.peers)
 	p.n.noteBr(nb, now)
-	return nb.engine.UsedBandwidth(), nb.engine.Capacity(), br
+	return nb.engine.UsedBandwidth(), nb.engine.Capacity(), br, true
 }
 
 // MaxSojourn implements core.Peers.
-func (p *memPeers) MaxSojourn(li topology.LocalIndex, now float64) float64 {
+func (p *memPeers) MaxSojourn(li topology.LocalIndex, now float64) (float64, bool) {
 	p.c.exchanges++
-	return p.neighbor(li).engine.MaxSojourn(now)
+	if p.faulted() {
+		return 0, false
+	}
+	return p.neighbor(li).engine.MaxSojourn(now), true
 }

@@ -54,6 +54,13 @@ type Result struct {
 	AvgDegraded   float64
 	QoSDowngrades uint64
 	QoSUpgrades   uint64
+	// Degraded signaling-plane outcomes (Config.Faults): injected
+	// exchange failures, B_r computations that substituted a fallback
+	// contribution, and admission tests decided on unknown neighbor
+	// state. All zero in a fault-free run.
+	PeerFaults         uint64
+	DegradedBrCalcs    uint64
+	DegradedAdmissions uint64
 }
 
 // Run advances the simulation until the clock reaches end (absolute
@@ -155,6 +162,11 @@ func (n *Network) Snapshot() *Result {
 	}
 	res.SoftSaved = n.softSaved
 	res.SoftExpired = n.softExpired
+	res.PeerFaults = n.peerFaults
+	for _, c := range n.cells {
+		res.DegradedBrCalcs += c.engine.DegradedBrCalcs()
+		res.DegradedAdmissions += c.engine.DegradedAdmissions()
+	}
 	if n.cfg.AdaptiveQoS.Enabled {
 		for _, c := range n.cells {
 			res.AvgDegraded += c.degTW.Mean(now)

@@ -136,6 +136,11 @@ type Config struct {
 	// ExpDwellWindow is the ExpDwell baseline's fixed estimation window
 	// T in seconds (that scheme has no adaptive T_est).
 	ExpDwellWindow float64
+	// Fallback is the degradation policy for unreachable neighbors: what
+	// an unreachable neighbor contributes to B_r (Eq. 6) instead of
+	// silently dropping to zero. The zero value decays the last-known
+	// contribution with the default time constant.
+	Fallback Fallback
 	// Lock, when non-nil, guards the engine's local state for concurrent
 	// deployments (internal/signaling): the engine acquires it around
 	// every local-state access but never across Peers calls, so a
@@ -174,6 +179,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: ExpDwell requires positive mean dwell and window, got τ=%v T=%v",
 			c.ExpDwellMean, c.ExpDwellWindow)
 	}
+	if err := c.Fallback.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -181,21 +189,28 @@ func (c Config) Validate() error {
 // in this cell's space (1..Degree). Implementations decide how the
 // information travels (function calls, MSC star, BS full mesh) and are
 // responsible for counting messages.
+//
+// Every method reports ok=false when the neighbor's state could not be
+// fetched — a dead or partitioned link, a timed-out call, an exhausted
+// retry budget. The engine then applies its configured Fallback policy
+// instead of treating silence as "contributes nothing" / "infinitely
+// healthy", and marks the computation degraded. In-process deployments
+// (internal/cellnet without fault injection) always return ok=true.
 type Peers interface {
 	// OutgoingReservation asks neighbor li to evaluate Eq. 5 toward this
 	// cell: the expected bandwidth of its connections that will hand off
 	// here within test seconds, at time now.
-	OutgoingReservation(li topology.LocalIndex, now, test float64) float64
+	OutgoingReservation(li topology.LocalIndex, now, test float64) (res float64, ok bool)
 	// Snapshot returns neighbor li's used bandwidth, capacity, and
 	// last-computed target reservation B_r^prev without recomputation.
-	Snapshot(li topology.LocalIndex) (used, capacity int, lastBr float64)
+	Snapshot(li topology.LocalIndex) (used, capacity int, lastBr float64, ok bool)
 	// RecomputeReservation makes neighbor li recompute its own B_r
 	// (updating its B_r^prev) and returns its used bandwidth, capacity
 	// and the fresh B_r.
-	RecomputeReservation(li topology.LocalIndex, now float64) (used, capacity int, br float64)
+	RecomputeReservation(li topology.LocalIndex, now float64) (used, capacity int, br float64, ok bool)
 	// MaxSojourn returns neighbor li's current T_soj,max (the largest
 	// sojourn in its hand-off estimation functions).
-	MaxSojourn(li topology.LocalIndex, now float64) float64
+	MaxSojourn(li topology.LocalIndex, now float64) (tSojMax float64, ok bool)
 }
 
 // Decision reports the outcome of an admission test.
@@ -205,6 +220,10 @@ type Decision struct {
 	// BrCalcs is the number of target-reservation-bandwidth calculations
 	// the test required across all cells (the paper's N_calc sample).
 	BrCalcs int
+	// Degraded reports that at least one neighbor's state was
+	// unavailable during the test, so the decision rests partly on the
+	// Fallback policy rather than fresh Eq. 5/6 information.
+	Degraded bool
 }
 
 // Engine is the per-cell QoS brain: connection table, hand-off
@@ -230,6 +249,16 @@ type Engine struct {
 	lastBr   float64 // B_r^prev: target reservation from the latest calculation
 	brCalcs  uint64  // lifetime count of Eq. 6 evaluations by this engine
 
+	// Degraded-mode accounting (unreachable neighbors, Fallback policy).
+	// lastOut holds each neighbor's most recent successful Eq. 5 answer
+	// and lastOutAt when it was observed (NaN = never), feeding the
+	// FallbackDecay estimate.
+	lastOut            []float64
+	lastOutAt          []float64
+	lastBrDegraded     bool   // latest B_r computation used ≥1 fallback
+	degradedBrCalcs    uint64 // Eq. 6 evaluations that substituted a fallback
+	degradedAdmissions uint64 // admission tests run on unknown neighbor state
+
 	downgrades uint64 // adaptive-QoS downgrade events
 	upgrades   uint64 // adaptive-QoS upgrade events
 }
@@ -241,6 +270,11 @@ func NewEngine(cfg Config) *Engine {
 	}
 	e := &Engine{cfg: cfg, index: make(map[ConnID]int)}
 	e.lk = cfg.Lock
+	e.lastOut = make([]float64, cfg.Degree)
+	e.lastOutAt = make([]float64, cfg.Degree)
+	for i := range e.lastOutAt {
+		e.lastOutAt[i] = math.NaN() // never heard from this neighbor
+	}
 	if cfg.Policy.Adaptive() {
 		e.patterns = predict.NewPatternSet(cfg.Estimation, cfg.Calendar)
 		e.tc = NewTestController(cfg.PHDTarget, cfg.TStart, cfg.Step)
@@ -561,15 +595,36 @@ func (e *Engine) NoteHandOffArrival(now float64, dropped bool, peers Peers) {
 		// Remote fan-out happens before taking the local lock (see
 		// Config.Lock): a neighbor may query us while we gather.
 		tSojMax = 0
+		unknown := false
 		for li := topology.LocalIndex(1); int(li) <= e.cfg.Degree; li++ {
-			if m := peers.MaxSojourn(li, now); m > tSojMax {
+			m, ok := peers.MaxSojourn(li, now)
+			if !ok || math.IsNaN(m) || math.IsInf(m, 0) || m < 0 {
+				// Unreachable neighbor, or a corrupt frame decoding to
+				// ±Inf/NaN: its T_soj,max is unknown. Clamp here so a
+				// non-finite value can never enter the T_est window
+				// arithmetic and un-cap the controller.
+				unknown = true
+				continue
+			}
+			if m > tSojMax {
 				tSojMax = m
 			}
 		}
+		e.lock()
+		defer e.unlock()
 		if tSojMax == 0 {
-			// No estimation data anywhere yet: leave T_est free to grow.
-			tSojMax = math.Inf(1)
+			if unknown {
+				// Every answer was missing: freeze T_est at its current
+				// value rather than letting it grow without the
+				// T_soj,max cap while the neighborhood is dark.
+				tSojMax = e.tc.Test()
+			} else {
+				// No estimation data anywhere yet: leave T_est free to grow.
+				tSojMax = math.Inf(1)
+			}
 		}
+		e.tc.OnHandOff(dropped, tSojMax)
+		return
 	}
 	e.lock()
 	defer e.unlock()
@@ -639,14 +694,55 @@ func (e *Engine) ComputeTargetReservation(now float64, peers Peers) float64 {
 	}
 	// Fan out to the neighbors without holding the local lock.
 	br := 0.0
+	degraded := false
 	for li := topology.LocalIndex(1); int(li) <= e.cfg.Degree; li++ {
-		br += peers.OutgoingReservation(li, now, test)
+		v, ok := peers.OutgoingReservation(li, now, test)
+		e.lock()
+		if ok && !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 {
+			e.lastOut[li-1] = v
+			e.lastOutAt[li-1] = now
+		} else {
+			// Unreachable neighbor (or a corrupt value): substitute the
+			// conservative fallback instead of silently under-reserving.
+			degraded = true
+			v = e.fallbackContribution(int(li), now)
+		}
+		e.unlock()
+		br += v
 	}
 	e.lock()
 	e.lastBr = br
 	e.brCalcs++
+	e.lastBrDegraded = degraded
+	if degraded {
+		e.degradedBrCalcs++
+	}
 	e.unlock()
 	return br
+}
+
+// BrDegraded reports whether the most recent B_r computation had to
+// substitute a fallback contribution for an unreachable neighbor.
+func (e *Engine) BrDegraded() bool {
+	e.lock()
+	defer e.unlock()
+	return e.lastBrDegraded
+}
+
+// DegradedBrCalcs returns how many Eq. 6 evaluations ran in degraded
+// mode (≥1 neighbor answered by the Fallback policy).
+func (e *Engine) DegradedBrCalcs() uint64 {
+	e.lock()
+	defer e.unlock()
+	return e.degradedBrCalcs
+}
+
+// DegradedAdmissions returns how many admission tests were decided with
+// at least one neighbor's state unknown.
+func (e *Engine) DegradedAdmissions() uint64 {
+	e.lock()
+	defer e.unlock()
+	return e.degradedAdmissions
 }
 
 // committed returns used plus pledged bandwidth (what admissions must
@@ -686,49 +782,83 @@ func (e *Engine) AdmitNew(now float64, bw int, peers Peers) Decision {
 		return Decision{Admitted: e.committed()+bw <= e.cfg.Capacity-e.cfg.StaticReserve}
 	case AC1, ExpDwell:
 		br := e.ComputeTargetReservation(now, peers)
-		return Decision{
+		return e.finishDecision(Decision{
 			Admitted: float64(e.committed()+bw) <= float64(e.cfg.Capacity)-br,
 			BrCalcs:  1,
-		}
+			Degraded: e.BrDegraded(),
+		})
 	case AC2:
 		ok := true
+		degraded := false
 		calcs := 0
 		for li := topology.LocalIndex(1); int(li) <= e.cfg.Degree; li++ {
-			used, cap_, nbr := peers.RecomputeReservation(li, now)
+			used, cap_, nbr, okCall := peers.RecomputeReservation(li, now)
 			calcs++
+			if !okCall {
+				// Unknown neighbor state: conservatively assume it cannot
+				// reserve its target — protect P_HD at the cost of P_CB.
+				degraded = true
+				ok = false
+				continue
+			}
 			if float64(used) > float64(cap_)-nbr {
 				ok = false
 			}
 		}
 		br := e.ComputeTargetReservation(now, peers)
 		calcs++
+		if e.BrDegraded() {
+			degraded = true
+		}
 		if float64(e.committed()+bw) > float64(e.cfg.Capacity)-br {
 			ok = false
 		}
-		return Decision{Admitted: ok, BrCalcs: calcs}
+		return e.finishDecision(Decision{Admitted: ok, BrCalcs: calcs, Degraded: degraded})
 	case AC3:
 		ok := true
+		degraded := false
 		calcs := 0
 		for li := topology.LocalIndex(1); int(li) <= e.cfg.Degree; li++ {
-			used, cap_, lastBr := peers.Snapshot(li)
-			if float64(used)+lastBr <= float64(cap_) {
+			used, cap_, lastBr, okSnap := peers.Snapshot(li)
+			if okSnap && float64(used)+lastBr <= float64(cap_) {
 				continue // neighbor appears able to reserve its target
 			}
-			usedNew, capNew, nbr := peers.RecomputeReservation(li, now)
+			// The neighbor appears unable — or its health is unknown
+			// (!okSnap), which must not read as "healthy": make it
+			// recompute and prove it has room.
+			usedNew, capNew, nbr, okRe := peers.RecomputeReservation(li, now)
 			calcs++
+			if !okRe {
+				degraded = true
+				ok = false
+				continue
+			}
 			if float64(usedNew) > float64(capNew)-nbr {
 				ok = false
 			}
 		}
 		br := e.ComputeTargetReservation(now, peers)
 		calcs++
+		if e.BrDegraded() {
+			degraded = true
+		}
 		if float64(e.committed()+bw) > float64(e.cfg.Capacity)-br {
 			ok = false
 		}
-		return Decision{Admitted: ok, BrCalcs: calcs}
+		return e.finishDecision(Decision{Admitted: ok, BrCalcs: calcs, Degraded: degraded})
 	default:
 		panic(fmt.Sprintf("core: unknown policy %v", e.cfg.Policy))
 	}
+}
+
+// finishDecision books degraded-mode accounting for an admission test.
+func (e *Engine) finishDecision(d Decision) Decision {
+	if d.Degraded {
+		e.lock()
+		e.degradedAdmissions++
+		e.unlock()
+	}
+	return d
 }
 
 // MaxSojourn returns this cell's current T_soj,max (largest selected

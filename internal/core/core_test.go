@@ -8,7 +8,8 @@ import (
 	"cellqos/internal/topology"
 )
 
-// fakePeers scripts neighbor behavior for engine tests.
+// fakePeers scripts neighbor behavior for engine tests. Neighbors
+// listed in down are unreachable: every query returns ok=false.
 type fakePeers struct {
 	outgoing      map[topology.LocalIndex]float64 // Eq. 5 answers per neighbor
 	used          map[topology.LocalIndex]int
@@ -16,28 +17,41 @@ type fakePeers struct {
 	lastBr        map[topology.LocalIndex]float64
 	freshBr       map[topology.LocalIndex]float64 // value returned on recompute
 	maxSoj        map[topology.LocalIndex]float64
+	down          map[topology.LocalIndex]bool
 	recomputed    []topology.LocalIndex
 	outgoingCalls int
 }
 
-func (f *fakePeers) OutgoingReservation(li topology.LocalIndex, now, test float64) float64 {
+func (f *fakePeers) OutgoingReservation(li topology.LocalIndex, now, test float64) (float64, bool) {
 	f.outgoingCalls++
-	return f.outgoing[li]
+	if f.down[li] {
+		return 0, false
+	}
+	return f.outgoing[li], true
 }
 
-func (f *fakePeers) Snapshot(li topology.LocalIndex) (int, int, float64) {
-	return f.used[li], f.capacity[li], f.lastBr[li]
+func (f *fakePeers) Snapshot(li topology.LocalIndex) (int, int, float64, bool) {
+	if f.down[li] {
+		return 0, 0, 0, false
+	}
+	return f.used[li], f.capacity[li], f.lastBr[li], true
 }
 
-func (f *fakePeers) RecomputeReservation(li topology.LocalIndex, now float64) (int, int, float64) {
+func (f *fakePeers) RecomputeReservation(li topology.LocalIndex, now float64) (int, int, float64, bool) {
+	if f.down[li] {
+		return 0, 0, 0, false
+	}
 	f.recomputed = append(f.recomputed, li)
 	br := f.freshBr[li]
 	f.lastBr[li] = br
-	return f.used[li], f.capacity[li], br
+	return f.used[li], f.capacity[li], br, true
 }
 
-func (f *fakePeers) MaxSojourn(li topology.LocalIndex, now float64) float64 {
-	return f.maxSoj[li]
+func (f *fakePeers) MaxSojourn(li topology.LocalIndex, now float64) (float64, bool) {
+	if f.down[li] {
+		return 0, false
+	}
+	return f.maxSoj[li], true
 }
 
 func adaptiveConfig(p Policy) Config {

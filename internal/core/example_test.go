@@ -23,25 +23,25 @@ func (p examplePeers) nb(li topology.LocalIndex) (topology.CellID, *core.Engine)
 	return id, p.engines[id]
 }
 
-func (p examplePeers) OutgoingReservation(li topology.LocalIndex, now, test float64) float64 {
+func (p examplePeers) OutgoingReservation(li topology.LocalIndex, now, test float64) (float64, bool) {
 	id, e := p.nb(li)
 	toward, _ := p.top.LocalOf(id, p.self)
-	return e.OutgoingReservation(now, toward, test)
+	return e.OutgoingReservation(now, toward, test), true
 }
 
-func (p examplePeers) Snapshot(li topology.LocalIndex) (int, int, float64) {
+func (p examplePeers) Snapshot(li topology.LocalIndex) (int, int, float64, bool) {
 	_, e := p.nb(li)
-	return e.UsedBandwidth(), e.Capacity(), e.LastTargetReservation()
+	return e.UsedBandwidth(), e.Capacity(), e.LastTargetReservation(), true
 }
 
-func (p examplePeers) RecomputeReservation(li topology.LocalIndex, now float64) (int, int, float64) {
+func (p examplePeers) RecomputeReservation(li topology.LocalIndex, now float64) (int, int, float64, bool) {
 	id, e := p.nb(li)
-	return e.UsedBandwidth(), e.Capacity(), e.ComputeTargetReservation(now, p.peers[id])
+	return e.UsedBandwidth(), e.Capacity(), e.ComputeTargetReservation(now, p.peers[id]), true
 }
 
-func (p examplePeers) MaxSojourn(li topology.LocalIndex, now float64) float64 {
+func (p examplePeers) MaxSojourn(li topology.LocalIndex, now float64) (float64, bool) {
 	_, e := p.nb(li)
-	return e.MaxSojourn(now)
+	return e.MaxSojourn(now), true
 }
 
 // Admission control with predictive reservation: the middle cell of a

@@ -29,6 +29,16 @@ type Ledger struct {
 	// LastBr is B_r^prev; Test is the current T_est (0 when non-adaptive).
 	LastBr float64
 	Test   float64
+
+	// Degraded-mode accounting (unreachable neighbors, Fallback policy).
+	// BrCalcs is the lifetime count of Eq. 6 evaluations;
+	// DegradedBrCalcs of those, how many substituted ≥1 fallback
+	// contribution; DegradedAdmissions counts admission tests decided on
+	// unknown neighbor state; LastBrDegraded flags the latest B_r.
+	BrCalcs            uint64
+	DegradedBrCalcs    uint64
+	DegradedAdmissions uint64
+	LastBrDegraded     bool
 }
 
 // Ledger snapshots the engine's accounting state atomically.
@@ -36,14 +46,18 @@ func (e *Engine) Ledger() Ledger {
 	e.lock()
 	defer e.unlock()
 	l := Ledger{
-		Capacity:    e.cfg.Capacity,
-		Margin:      e.cfg.HandOffMargin,
-		Degree:      e.cfg.Degree,
-		Adaptive:    e.cfg.Policy.Adaptive(),
-		Used:        e.used,
-		Pledged:     e.pledged,
-		Connections: len(e.conns),
-		LastBr:      e.lastBr,
+		Capacity:           e.cfg.Capacity,
+		Margin:             e.cfg.HandOffMargin,
+		Degree:             e.cfg.Degree,
+		Adaptive:           e.cfg.Policy.Adaptive(),
+		Used:               e.used,
+		Pledged:            e.pledged,
+		Connections:        len(e.conns),
+		LastBr:             e.lastBr,
+		BrCalcs:            e.brCalcs,
+		DegradedBrCalcs:    e.degradedBrCalcs,
+		DegradedAdmissions: e.degradedAdmissions,
+		LastBrDegraded:     e.lastBrDegraded,
 	}
 	if e.tc != nil {
 		l.Test = e.tc.Test()

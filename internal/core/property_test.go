@@ -16,12 +16,14 @@ import (
 // machinery without scripting neighbor behavior.
 type zeroPeers struct{}
 
-func (zeroPeers) OutgoingReservation(topology.LocalIndex, float64, float64) float64 { return 0 }
-func (zeroPeers) Snapshot(topology.LocalIndex) (int, int, float64)                 { return 0, 100, 0 }
-func (zeroPeers) RecomputeReservation(topology.LocalIndex, float64) (int, int, float64) {
-	return 0, 100, 0
+func (zeroPeers) OutgoingReservation(topology.LocalIndex, float64, float64) (float64, bool) {
+	return 0, true
 }
-func (zeroPeers) MaxSojourn(topology.LocalIndex, float64) float64 { return 0 }
+func (zeroPeers) Snapshot(topology.LocalIndex) (int, int, float64, bool) { return 0, 100, 0, true }
+func (zeroPeers) RecomputeReservation(topology.LocalIndex, float64) (int, int, float64, bool) {
+	return 0, 100, 0, true
+}
+func (zeroPeers) MaxSojourn(topology.LocalIndex, float64) (float64, bool) { return 0, true }
 
 // TestPropertyEngineRandomOps drives an Engine through long random
 // operation sequences while a shadow model tracks what the bandwidth

@@ -146,6 +146,7 @@ func All() []Experiment {
 		{"ablation-step", "T_est step policy ablation (§4.2)", AblationStep},
 		{"ablation-nquad", "N_quad sensitivity ablation", AblationNQuad},
 		{"ablation-dropped", "Recording dropped hand-off departures", AblationDropped},
+		{"extension-faults", "Signaling faults and graceful degradation", ExtensionFaults},
 	}
 }
 

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestExtensionFaultsShape checks the control row and the degradation
+// accounting: the fault-free variant reports zero faults and zero
+// degraded decisions, every faulted variant reports all three counters
+// nonzero (at a 5%+ drop rate over a full run, silence would mean the
+// injection isn't wired through).
+func TestExtensionFaultsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	opt := quickOpt()
+	opt.Duration = 400
+	rep, err := ExtensionFaults(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := csvRows(rep.Tables[0])
+	if len(rows) != 12 { // 6 variants × 2 loads
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	for _, row := range rows {
+		variant := row[0]
+		faults, degBr, degAdm := atoiMust(t, row[4]), atoiMust(t, row[5]), atoiMust(t, row[6])
+		if variant == "fault-free" {
+			if faults != 0 || degBr != 0 || degAdm != 0 {
+				t.Fatalf("fault-free row has nonzero fault counters: %v", row)
+			}
+			continue
+		}
+		if faults == 0 || degBr == 0 {
+			t.Fatalf("faulted variant %q shows no injected faults: %v", variant, row)
+		}
+	}
+}
+
+func atoiMust(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			t.Fatalf("non-numeric counter %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// TestExtensionFaultsDeterministicAcrossWorkers is the acceptance bar
+// for the fault extension: the fault RNG is a dedicated per-network
+// stream, so the sweep must stay byte-deterministic at any worker count.
+func TestExtensionFaultsDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	opt := quickOpt()
+	opt.Duration = 400
+	opt.Parallel = 1
+	rep1, err := ExtensionFaults(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Parallel = 8
+	rep8, err := ExtensionFaults(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b8 := rep1.Bytes(), rep8.Bytes()
+	if len(b1) == 0 {
+		t.Fatal("empty serialized report")
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Fatalf("extension-faults differs between parallel=1 and parallel=8:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s", b1, b8)
+	}
+}

@@ -1,0 +1,235 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// memConn collects writes; reads drain what was written.
+type memConn struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (m *memConn) Close() error { m.closed = true; return nil }
+
+func frame() []byte {
+	b := make([]byte, 45)
+	for i := range b {
+		b[i] = byte(i + 1)
+	}
+	return b
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Drop: -0.1}, {Drop: 1.1}, {Duplicate: 2}, {Corrupt: -1},
+		{Truncate: 1.5}, {Delay: -time.Second}, {DelayJitter: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d: invalid config %+v accepted", i, cfg)
+		}
+	}
+	if err := (Config{Drop: 0.5, Duplicate: 1, Corrupt: 0, Truncate: 1}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestDropSwallowsFrame(t *testing.T) {
+	conn := &memConn{}
+	l := Wrap(conn, Config{Drop: 1})
+	n, err := l.Write(frame())
+	if err != nil || n != 45 {
+		t.Fatalf("dropped write = %d,%v, want 45,nil (loss is silent)", n, err)
+	}
+	if conn.Len() != 0 {
+		t.Fatalf("%d bytes leaked through a certain drop", conn.Len())
+	}
+	c := l.Counters()
+	if c.Writes != 1 || c.Dropped != 1 {
+		t.Fatalf("counters = %+v, want Writes=1 Dropped=1", c)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	conn := &memConn{}
+	l := Wrap(conn, Config{})
+	l.Partition()
+	if !l.Partitioned() {
+		t.Fatal("Partitioned() = false after Partition()")
+	}
+	if n, err := l.Write(frame()); err != nil || n != 45 {
+		t.Fatalf("partitioned write = %d,%v", n, err)
+	}
+	if conn.Len() != 0 {
+		t.Fatal("partitioned frame reached the wire")
+	}
+	l.Heal()
+	if _, err := l.Write(frame()); err != nil {
+		t.Fatal(err)
+	}
+	if conn.Len() != 45 {
+		t.Fatalf("healed write delivered %d bytes, want 45", conn.Len())
+	}
+	c := l.Counters()
+	if c.Blackholed != 1 || c.Dropped != 0 || c.Writes != 2 {
+		t.Fatalf("counters = %+v, want Blackholed=1 Writes=2", c)
+	}
+}
+
+func TestCrashSchedule(t *testing.T) {
+	conn := &memConn{}
+	l := Wrap(conn, Config{FailAfter: 3})
+	for i := 0; i < 2; i++ {
+		if _, err := l.Write(frame()); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := l.Write(frame()); !errors.Is(err, ErrLinkFailed) {
+		t.Fatalf("3rd write err = %v, want ErrLinkFailed", err)
+	}
+	if !conn.closed {
+		t.Fatal("crash did not close the underlying connection")
+	}
+	if !l.Failed() {
+		t.Fatal("Failed() = false after crash")
+	}
+	if _, err := l.Write(frame()); !errors.Is(err, ErrLinkFailed) {
+		t.Fatalf("post-crash write err = %v", err)
+	}
+	if c := l.Counters(); c.Crashes != 1 {
+		t.Fatalf("Crashes = %d, want 1", c.Crashes)
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	conn := &memConn{}
+	l := Wrap(conn, Config{Seed: 7, Corrupt: 1})
+	in := frame()
+	if _, err := l.Write(in); err != nil {
+		t.Fatal(err)
+	}
+	out := conn.Bytes()
+	if len(out) != len(in) {
+		t.Fatalf("corrupted frame length %d, want %d", len(out), len(in))
+	}
+	diffBits := 0
+	for i := range in {
+		for b := 0; b < 8; b++ {
+			if (in[i]^out[i])>>b&1 == 1 {
+				diffBits++
+			}
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("%d bits differ, want exactly 1", diffBits)
+	}
+	// The caller's buffer must not be mutated.
+	if !bytes.Equal(in, frame()) {
+		t.Fatal("corruption mutated the caller's buffer")
+	}
+}
+
+func TestTruncateWritesStrictPrefix(t *testing.T) {
+	conn := &memConn{}
+	l := Wrap(conn, Config{Seed: 3, Truncate: 1})
+	n, err := l.Write(frame())
+	if err != nil || n != 45 {
+		t.Fatalf("truncated write = %d,%v, want 45,nil", n, err)
+	}
+	if conn.Len() == 0 || conn.Len() >= 45 {
+		t.Fatalf("wire saw %d bytes, want a strict non-empty prefix of 45", conn.Len())
+	}
+	if !bytes.Equal(conn.Bytes(), frame()[:conn.Len()]) {
+		t.Fatal("truncated bytes are not a prefix of the frame")
+	}
+	if c := l.Counters(); c.Truncated != 1 {
+		t.Fatalf("Truncated = %d, want 1", c.Truncated)
+	}
+}
+
+func TestDuplicateWritesTwice(t *testing.T) {
+	conn := &memConn{}
+	l := Wrap(conn, Config{Duplicate: 1})
+	if _, err := l.Write(frame()); err != nil {
+		t.Fatal(err)
+	}
+	if conn.Len() != 90 {
+		t.Fatalf("wire saw %d bytes, want 90 (frame twice)", conn.Len())
+	}
+	if !bytes.Equal(conn.Bytes()[:45], conn.Bytes()[45:]) {
+		t.Fatal("duplicate differs from the original")
+	}
+}
+
+// TestDeterministicReplay: same seed and config ⇒ identical fault plan,
+// byte-for-byte and counter-for-counter.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() ([]byte, Counters) {
+		conn := &memConn{}
+		l := Wrap(conn, Config{Seed: 99, Drop: 0.3, Duplicate: 0.2, Corrupt: 0.2, Truncate: 0.1})
+		for i := 0; i < 200; i++ {
+			if _, err := l.Write(frame()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return conn.Bytes(), l.Counters()
+	}
+	b1, c1 := run()
+	b2, c2 := run()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same seed produced different wire bytes")
+	}
+	if c1 != c2 {
+		t.Fatalf("same seed produced different counters: %+v vs %+v", c1, c2)
+	}
+	if c1.Dropped == 0 || c1.Duplicated == 0 || c1.Corrupted == 0 || c1.Truncated == 0 {
+		t.Fatalf("200 frames at these rates should hit every fault type: %+v", c1)
+	}
+}
+
+func TestPipeOneWayPartition(t *testing.T) {
+	a, b := Pipe(Config{}, Config{})
+	defer a.Close()
+	defer b.Close()
+
+	a.Partition() // a → b dark; b → a still flows
+
+	done := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 45)
+		if _, err := a.Read(buf); err == nil {
+			done <- buf
+		}
+	}()
+	if _, err := b.Write(frame()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-done:
+		if !bytes.Equal(got, frame()) {
+			t.Fatal("healthy direction corrupted the frame")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("healthy direction blocked")
+	}
+	// The dark direction: the write "succeeds" but nothing arrives.
+	if n, err := a.Write(frame()); err != nil || n != 45 {
+		t.Fatalf("partitioned write = %d,%v", n, err)
+	}
+	arrived := make(chan struct{})
+	go func() {
+		buf := make([]byte, 1)
+		if _, err := b.Read(buf); err == nil {
+			close(arrived)
+		}
+	}()
+	select {
+	case <-arrived:
+		t.Fatal("frame crossed a partitioned link")
+	case <-time.After(50 * time.Millisecond):
+	}
+}

@@ -22,7 +22,7 @@ func corpusOpt() experiments.Options {
 	}
 }
 
-// TestGoldenCorpus regenerates all 19 experiments at the corpus scale —
+// TestGoldenCorpus regenerates all 20 experiments at the corpus scale —
 // with the invariant audit attached — and compares each Report.Bytes
 // against its stored golden file. Any PR that changes simulation
 // semantics, table formatting, or chart rendering fails here with the
@@ -32,8 +32,8 @@ func TestGoldenCorpus(t *testing.T) {
 		t.Skip("golden corpus regenerates every experiment")
 	}
 	all := experiments.All()
-	if len(all) != 19 {
-		t.Fatalf("experiment registry has %d entries, corpus expects 19 — extend the corpus deliberately", len(all))
+	if len(all) != 20 {
+		t.Fatalf("experiment registry has %d entries, corpus expects 20 — extend the corpus deliberately", len(all))
 	}
 	for _, e := range all {
 		e := e

@@ -3,13 +3,67 @@ package signaling
 import (
 	"fmt"
 	"io"
-	"math"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cellqos/internal/core"
 	"cellqos/internal/topology"
 )
+
+// CallPolicy bounds one logical peer query: each attempt gets a deadline,
+// failed attempts are retried up to MaxAttempts with exponential backoff
+// and deterministic jitter. The zero value degrades to the historical
+// behavior — one attempt, no deadline — so existing wiring is unchanged
+// until a node opts in via BSNode.SetCallPolicy.
+type CallPolicy struct {
+	// Timeout is the per-attempt deadline (0 = block until the link dies).
+	Timeout time.Duration
+	// MaxAttempts is the total number of attempts, including the first
+	// (values < 1 mean 1: no retries).
+	MaxAttempts int
+	// Backoff is the sleep before the second attempt; it doubles per
+	// further attempt, capped at MaxBackoff. 0 retries immediately.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 1 s when 0).
+	MaxBackoff time.Duration
+	// JitterSeed seeds the node's deterministic jitter stream; each
+	// backoff sleep is stretched by up to 50% drawn from that stream, so
+	// two runs with the same seed de-synchronize retries identically.
+	JitterSeed uint64
+}
+
+// DefaultCallPolicy is a sane starting point for faulty links: 3 attempts
+// with a 50 ms deadline each and 5 ms base backoff.
+func DefaultCallPolicy() CallPolicy {
+	return CallPolicy{Timeout: 50 * time.Millisecond, MaxAttempts: 3, Backoff: 5 * time.Millisecond}
+}
+
+// attempts normalizes MaxAttempts.
+func (cp CallPolicy) attempts() int {
+	if cp.MaxAttempts < 1 {
+		return 1
+	}
+	return cp.MaxAttempts
+}
+
+// delay computes the backoff before attempt (1-based retry index),
+// without jitter.
+func (cp CallPolicy) delay(retry int) time.Duration {
+	if cp.Backoff <= 0 {
+		return 0
+	}
+	d := cp.Backoff << uint(retry-1)
+	max := cp.MaxBackoff
+	if max <= 0 {
+		max = time.Second
+	}
+	if d > max || d <= 0 { // <= 0 guards shift overflow
+		d = max
+	}
+	return d
+}
 
 // BSNode hosts one cell's reservation engine and speaks the signaling
 // protocol: it answers neighbors' queries against its engine and
@@ -28,9 +82,22 @@ type BSNode struct {
 	linkMu sync.Mutex
 	links  map[NodeID]*Peer
 
-	// remoteErrs counts failed peer calls answered with conservative
-	// defaults (0 reservation / healthy snapshot).
+	// Resilience configuration: per-call retry policy, per-link breaker
+	// factory, and the reconnect hook for crashed links. All set before
+	// traffic starts; polMu guards the policy + jitter stream.
+	polMu      sync.Mutex
+	policy     CallPolicy
+	jitter     *rand.Rand
+	newBreaker func() *Breaker
+
+	recMu     sync.Mutex // serializes reconnect attempts
+	reconnect func(remote NodeID) (io.ReadWriteCloser, error)
+
+	// remoteErrs counts peer queries that exhausted every attempt and
+	// were answered ok=false (the engine then degrades per its fallback
+	// policy). reconnects counts dead links replaced via the hook.
 	remoteErrs atomic.Uint64
+	reconnects atomic.Uint64
 }
 
 // NewBSNode builds a node for cell id. The config's Degree and Lock are
@@ -49,15 +116,91 @@ func (n *BSNode) ID() topology.CellID { return n.id }
 // Engine exposes the node's engine (connection management, admission).
 func (n *BSNode) Engine() *core.Engine { return n.engine }
 
-// RemoteErrors returns the count of peer queries that failed and were
-// substituted with conservative defaults.
+// RemoteErrors returns the count of peer queries that failed every
+// attempt and degraded to the engine's fallback policy.
 func (n *BSNode) RemoteErrors() uint64 { return n.remoteErrs.Load() }
+
+// Reconnects returns how many dead links were replaced via the hook.
+func (n *BSNode) Reconnects() uint64 { return n.reconnects.Load() }
+
+// SetCallPolicy installs the retry/deadline policy for outgoing peer
+// queries and seeds the jitter stream (per-node stream split off the
+// seed so identical seeds on different cells do not march in lockstep).
+// Call before traffic starts.
+func (n *BSNode) SetCallPolicy(p CallPolicy) {
+	n.polMu.Lock()
+	defer n.polMu.Unlock()
+	n.policy = p
+	n.jitter = rand.New(rand.NewPCG(p.JitterSeed, uint64(n.id)+0x9e3779b97f4a7c15))
+}
+
+// SetBreakerConfig installs a circuit breaker on every current and
+// future link: threshold consecutive failures open it, cooldown later a
+// single probe is allowed through (see Breaker). Call before traffic
+// starts; threshold ≤ 0 disables breakers for future links.
+func (n *BSNode) SetBreakerConfig(threshold int, cooldown time.Duration) {
+	n.polMu.Lock()
+	if threshold <= 0 {
+		n.newBreaker = nil
+	} else {
+		n.newBreaker = func() *Breaker { return NewBreaker(threshold, cooldown) }
+	}
+	factory := n.newBreaker
+	n.polMu.Unlock()
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
+	for _, p := range n.links {
+		if factory == nil {
+			p.SetBreaker(nil)
+		} else {
+			p.SetBreaker(factory())
+		}
+	}
+}
+
+// SetReconnect installs the hook used to re-dial a crashed link. When a
+// query finds its link dead (read pump exited), the node asks the hook
+// for a fresh connection to the same remote and attaches it in place.
+// Call before traffic starts.
+func (n *BSNode) SetReconnect(hook func(remote NodeID) (io.ReadWriteCloser, error)) {
+	n.recMu.Lock()
+	defer n.recMu.Unlock()
+	n.reconnect = hook
+}
+
+// callPolicy snapshots the current policy.
+func (n *BSNode) callPolicy() CallPolicy {
+	n.polMu.Lock()
+	defer n.polMu.Unlock()
+	return n.policy
+}
+
+// backoffSleep blocks for the policy's delay before the retry-th
+// re-attempt, stretched by up to 50% of deterministic jitter.
+func (n *BSNode) backoffSleep(pol CallPolicy, retry int) {
+	d := pol.delay(retry)
+	if d <= 0 {
+		return
+	}
+	n.polMu.Lock()
+	if n.jitter != nil {
+		d += time.Duration(n.jitter.Int64N(int64(d)/2 + 1))
+	}
+	n.polMu.Unlock()
+	time.Sleep(d)
+}
 
 // Attach wires a connection to a remote node (a neighbor BS in a mesh,
 // or the MSC in a star) and starts answering its queries. It returns the
-// peer link, whose Stats count this link's traffic.
+// peer link, whose Stats count this link's traffic. If a breaker config
+// is installed the new link gets a fresh breaker.
 func (n *BSNode) Attach(remote NodeID, conn io.ReadWriteCloser) *Peer {
 	p := NewPeer(conn, n.handle)
+	n.polMu.Lock()
+	if n.newBreaker != nil {
+		p.SetBreaker(n.newBreaker())
+	}
+	n.polMu.Unlock()
 	n.linkMu.Lock()
 	n.links[remote] = p
 	n.linkMu.Unlock()
@@ -74,15 +217,57 @@ func (n *BSNode) Close() {
 	}
 }
 
-// linkFor resolves the link that reaches cell nb: a direct mesh link if
-// present, otherwise the MSC relay.
-func (n *BSNode) linkFor(nb NodeID) *Peer {
+// Link returns the current link to a remote node (nil if none). Tests
+// use it to reach per-link Stats and breakers.
+func (n *BSNode) Link(remote NodeID) *Peer {
 	n.linkMu.Lock()
 	defer n.linkMu.Unlock()
-	if p, ok := n.links[nb]; ok {
+	return n.links[remote]
+}
+
+// linkDead reports whether the link's read pump has exited.
+func linkDead(p *Peer) bool {
+	select {
+	case <-p.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// linkFor resolves the link that reaches cell nb: a direct mesh link if
+// present, otherwise the MSC relay. A dead link is re-dialed through the
+// reconnect hook when one is installed.
+func (n *BSNode) linkFor(nb NodeID) *Peer {
+	n.linkMu.Lock()
+	id := nb
+	p, ok := n.links[nb]
+	if !ok {
+		id = MSCNode
+		p = n.links[MSCNode]
+	}
+	n.linkMu.Unlock()
+	if p == nil || !linkDead(p) {
 		return p
 	}
-	return n.links[MSCNode]
+	n.recMu.Lock()
+	defer n.recMu.Unlock()
+	if n.reconnect == nil {
+		return p
+	}
+	// Re-check under recMu: a racing caller may have already replaced it.
+	n.linkMu.Lock()
+	cur := n.links[id]
+	n.linkMu.Unlock()
+	if cur != nil && !linkDead(cur) {
+		return cur
+	}
+	conn, err := n.reconnect(id)
+	if err != nil || conn == nil {
+		return cur
+	}
+	n.reconnects.Add(1)
+	return n.Attach(id, conn)
 }
 
 // handle answers one incoming request against the local engine.
@@ -119,7 +304,11 @@ func (n *BSNode) handle(req Message) Message {
 // Engine.AdmitNew / ComputeTargetReservation / NoteHandOffArrival.
 func (n *BSNode) Peers() core.Peers { return remotePeers{n} }
 
-// remotePeers implements core.Peers over signaling links.
+// remotePeers implements core.Peers over signaling links. Every method
+// reports ok=false when the neighbor stayed unreachable through the full
+// retry budget; the engine then applies its explicit degradation policy
+// (core.Fallback) instead of this layer smuggling in sentinel values —
+// the old +Inf MaxSojourn and "infinitely healthy" MaxInt32 snapshots.
 type remotePeers struct{ n *BSNode }
 
 func (r remotePeers) call(li topology.LocalIndex, req Message) (Message, bool) {
@@ -129,53 +318,67 @@ func (r remotePeers) call(li topology.LocalIndex, req Message) (Message, bool) {
 	}
 	req.From = NodeID(r.n.id)
 	req.To = NodeID(nb)
-	link := r.n.linkFor(req.To)
-	if link == nil {
-		r.n.remoteErrs.Add(1)
-		return Message{}, false
+	pol := r.n.callPolicy()
+	for attempt := 0; attempt < pol.attempts(); attempt++ {
+		if attempt > 0 {
+			r.n.backoffSleep(pol, attempt)
+		}
+		link := r.n.linkFor(req.To)
+		if link == nil {
+			continue
+		}
+		if attempt > 0 {
+			link.Stats().Retries.Add(1)
+		}
+		if !link.Allow() {
+			// Breaker open: fail fast; the cooldown probe will test the
+			// link, not this call.
+			continue
+		}
+		resp, err := link.CallTimeout(req, pol.Timeout)
+		link.Record(err == nil)
+		if err == nil {
+			return resp, true
+		}
 	}
-	resp, err := link.Call(req)
-	if err != nil {
-		r.n.remoteErrs.Add(1)
-		return Message{}, false
-	}
-	return resp, true
+	r.n.remoteErrs.Add(1)
+	return Message{}, false
 }
 
-// OutgoingReservation implements core.Peers; an unreachable neighbor
-// contributes no reservation.
-func (r remotePeers) OutgoingReservation(li topology.LocalIndex, now, test float64) float64 {
+// OutgoingReservation implements core.Peers.
+func (r remotePeers) OutgoingReservation(li topology.LocalIndex, now, test float64) (float64, bool) {
 	resp, ok := r.call(li, Message{Type: MsgOutgoing, Now: now, Test: test})
 	if !ok {
-		return 0
+		return 0, false
 	}
-	return resp.F1
+	return resp.F1, true
 }
 
-// Snapshot implements core.Peers; an unreachable neighbor reads as
-// healthy (AC3 then skips it).
-func (r remotePeers) Snapshot(li topology.LocalIndex) (int, int, float64) {
+// Snapshot implements core.Peers.
+func (r remotePeers) Snapshot(li topology.LocalIndex) (int, int, float64, bool) {
 	resp, ok := r.call(li, Message{Type: MsgSnapshot})
 	if !ok {
-		return 0, int(^uint32(0) >> 1), 0
+		return 0, 0, 0, false
 	}
-	return int(resp.U1), int(resp.U2), resp.F1
+	return int(resp.U1), int(resp.U2), resp.F1, true
 }
 
 // RecomputeReservation implements core.Peers.
-func (r remotePeers) RecomputeReservation(li topology.LocalIndex, now float64) (int, int, float64) {
+func (r remotePeers) RecomputeReservation(li topology.LocalIndex, now float64) (int, int, float64, bool) {
 	resp, ok := r.call(li, Message{Type: MsgRecompute, Now: now})
 	if !ok {
-		return 0, int(^uint32(0) >> 1), 0
+		return 0, 0, 0, false
 	}
-	return int(resp.U1), int(resp.U2), resp.F1
+	return int(resp.U1), int(resp.U2), resp.F1, true
 }
 
-// MaxSojourn implements core.Peers.
-func (r remotePeers) MaxSojourn(li topology.LocalIndex, now float64) float64 {
+// MaxSojourn implements core.Peers. The answer travels the wire as a raw
+// float64; the engine-side caller clamps non-finite values, so a
+// neighbor's cold-start +Inf can never inflate this cell's T_est cap.
+func (r remotePeers) MaxSojourn(li topology.LocalIndex, now float64) (float64, bool) {
 	resp, ok := r.call(li, Message{Type: MsgMaxSojourn, Now: now})
 	if !ok {
-		return math.Inf(1) // leave T_est uncapped rather than frozen
+		return 0, false
 	}
-	return resp.F1
+	return resp.F1, true
 }

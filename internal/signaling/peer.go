@@ -15,6 +15,12 @@ type Stats struct {
 	Sent, Received atomic.Uint64
 	BytesSent      atomic.Uint64
 	BytesReceived  atomic.Uint64
+	// Timeouts counts CallTimeout deadlines that expired before the
+	// response arrived (the late response, if any, is dropped).
+	Timeouts atomic.Uint64
+	// Retries counts re-attempts issued on this link by a retrying
+	// caller (BSNode's call policy); the first attempt is not a retry.
+	Retries atomic.Uint64
 }
 
 // Handler answers an incoming request. It runs on its own goroutine, so
@@ -38,6 +44,8 @@ type Peer struct {
 	closed  bool
 	err     error
 	done    chan struct{}
+
+	breaker atomic.Pointer[Breaker]
 }
 
 // ErrPeerClosed is returned by Call after the link shuts down.
@@ -60,6 +68,26 @@ func NewPeer(conn io.ReadWriteCloser, handler Handler) *Peer {
 
 // Stats exposes the link's traffic counters.
 func (p *Peer) Stats() *Stats { return p.stats }
+
+// SetBreaker installs a circuit breaker on the link (nil removes it).
+func (p *Peer) SetBreaker(b *Breaker) { p.breaker.Store(b) }
+
+// Breaker returns the installed breaker, or nil.
+func (p *Peer) Breaker() *Breaker { return p.breaker.Load() }
+
+// Allow asks the link's breaker whether a call may proceed; a link
+// without a breaker always allows.
+func (p *Peer) Allow() bool {
+	b := p.breaker.Load()
+	return b == nil || b.Allow()
+}
+
+// Record feeds a call outcome to the link's breaker, if any.
+func (p *Peer) Record(ok bool) {
+	if b := p.breaker.Load(); b != nil {
+		b.Record(ok)
+	}
+}
 
 // Close shuts the link down; pending Calls fail with ErrPeerClosed.
 func (p *Peer) Close() error {
@@ -172,6 +200,7 @@ func (p *Peer) CallTimeout(req Message, timeout time.Duration) (Message, error) 
 		p.mu.Lock()
 		delete(p.pending, req.Seq)
 		p.mu.Unlock()
+		p.stats.Timeouts.Add(1)
 		return Message{}, ErrTimeout
 	}
 }

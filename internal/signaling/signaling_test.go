@@ -372,15 +372,21 @@ func TestRemotePeersConservativeDefaultsAfterClose(t *testing.T) {
 		n.Close() // kill all links
 	}
 	peers := nodes[1].Peers()
-	if got := peers.OutgoingReservation(1, 10, 5); got != 0 {
-		t.Fatalf("dead link reservation = %v, want 0", got)
+	if got, ok := peers.OutgoingReservation(1, 10, 5); ok || got != 0 {
+		t.Fatalf("dead link reservation = %v,%v, want 0,false", got, ok)
 	}
-	used, _, br := peers.Snapshot(1)
-	if used != 0 || br != 0 {
-		t.Fatalf("dead link snapshot = %d,%v", used, br)
+	used, capacity, br, ok := peers.Snapshot(1)
+	if ok || used != 0 || capacity != 0 || br != 0 {
+		t.Fatalf("dead link snapshot = %d,%d,%v,%v, want zeros and false", used, capacity, br, ok)
 	}
-	if nodes[1].RemoteErrors() == 0 {
-		t.Fatal("remote errors not counted")
+	if m, ok := peers.MaxSojourn(1, 10); ok || m != 0 {
+		t.Fatalf("dead link max sojourn = %v,%v, want 0,false", m, ok)
+	}
+	if _, _, _, ok := peers.RecomputeReservation(1, 10); ok {
+		t.Fatal("dead link recompute reported ok")
+	}
+	if got, want := nodes[1].RemoteErrors(), uint64(4); got != want {
+		t.Fatalf("remote errors = %d, want %d (one per failed query)", got, want)
 	}
 }
 
@@ -431,9 +437,9 @@ func TestTCPLoopbackQuery(t *testing.T) {
 	// Seed node 0 and query it from node 1 over real TCP.
 	n0.Engine().RecordDeparture(predict.Quadruplet{Event: 0, Prev: topology.Self, Next: 1, Sojourn: 10.5})
 	n0.Engine().AddConnection(1, 4, topology.Self, 0)
-	got := n1.Peers().OutgoingReservation(1, 10, 5)
-	if math.Abs(got-4) > 1e-12 {
-		t.Fatalf("TCP OutgoingReservation = %v, want 4", got)
+	got, ok := n1.Peers().OutgoingReservation(1, 10, 5)
+	if !ok || math.Abs(got-4) > 1e-12 {
+		t.Fatalf("TCP OutgoingReservation = %v,%v, want 4,true", got, ok)
 	}
 }
 
