@@ -1,0 +1,133 @@
+// Command benchjson converts `go test -bench` output into the
+// BENCH_admission.json artifact tracked at the repository root: a small
+// machine-readable record of the admission fast path's throughput.
+//
+// The file keeps two measurement sets. "baseline" is written the first
+// time the file is created and preserved by every later run, so it pins
+// the pre-optimization numbers the fast path is judged against;
+// "current" is refreshed on each invocation, and "speedup" is their
+// per-benchmark ns/op ratio. Delete the file (or pass -rebaseline) to
+// re-baseline deliberately.
+//
+// Usage:
+//
+//	go test -bench ... -benchmem ./internal/core/ | benchjson -out BENCH_admission.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// report is the serialized artifact.
+type report struct {
+	Baseline map[string]result  `json:"baseline"`
+	Current  map[string]result  `json:"current"`
+	Speedup  map[string]float64 `json:"speedup"`
+	Raw      []string           `json:"raw"`
+}
+
+// benchLine matches the go-test benchmark output format; the trailing
+// -N GOMAXPROCS suffix is stripped from the name so results stay
+// comparable across machines.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func parse(r io.Reader) (map[string]result, []string, error) {
+	results := map[string]result{}
+	var raw []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		raw = append(raw, line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var res result
+		res.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		res.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			res.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			res.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		results[m[1]] = res
+	}
+	return results, raw, sc.Err()
+}
+
+func run() error {
+	in := flag.String("in", "-", "bench output to parse (- for stdin)")
+	out := flag.String("out", "BENCH_admission.json", "JSON artifact to write")
+	rebaseline := flag.Bool("rebaseline", false, "overwrite the recorded baseline with this run")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	current, raw, err := parse(src)
+	if err != nil {
+		return err
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	rep := report{Current: current, Raw: raw, Speedup: map[string]float64{}}
+	if prev, err := os.ReadFile(*out); err == nil && !*rebaseline {
+		var old report
+		if err := json.Unmarshal(prev, &old); err != nil {
+			return fmt.Errorf("existing %s is not a benchjson artifact: %w", *out, err)
+		}
+		rep.Baseline = old.Baseline
+	}
+	if rep.Baseline == nil {
+		rep.Baseline = current
+	}
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if base, ok := rep.Baseline[name]; ok && rep.Current[name].NsPerOp > 0 {
+			rep.Speedup[name] = base.NsPerOp / rep.Current[name].NsPerOp
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*out, append(buf, '\n'), 0o644)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -182,7 +182,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if n.Engine().UsedBandwidth()+bw > 100 {
 				break
 			}
-			n.Engine().AddConnection(id, bw, topology.LocalIndex(rng.IntN(deg+1)), 60+rng.Float64()*30)
+			n.Engine().AddConnection(id, core.ConnSpec{Min: bw, Prev: topology.LocalIndex(rng.IntN(deg+1))}, 60+rng.Float64()*30)
 		}
 	}
 
@@ -196,7 +196,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if d.Admitted {
 			admitted++
 			id++
-			n.Engine().AddConnection(id, bw, topology.Self, 100+float64(i)*0.1)
+			n.Engine().AddConnection(id, core.ConnSpec{Min: bw, Prev: topology.Self}, 100+float64(i)*0.1)
 		} else {
 			blocked++
 		}

@@ -37,7 +37,7 @@ func buildNodes(top *topology.Topology) []*signaling.BSNode {
 		}
 		for n.Engine().UsedBandwidth() < 60 {
 			id++
-			n.Engine().AddConnection(id, 4, topology.Self, 95)
+			n.Engine().AddConnection(id, core.ConnSpec{Min: 4, Prev: topology.Self}, 95)
 		}
 		nodes[i] = n
 	}

@@ -135,6 +135,34 @@ func (c *Checker) Engine(cell string, now float64, l core.Ledger) {
 	}
 }
 
+// Eq5Tolerance bounds the divergence allowed between the engine's
+// incremental Eq. 5 cache and the retained from-scratch walk. The cache
+// is designed to be bit-exact (same operations in the same order), so
+// any drift at all points at a bookkeeping bug; the tolerance only
+// leaves room for future maintainers to relax the exactness argument
+// deliberately, not for rounding noise.
+const Eq5Tolerance = 1e-9
+
+// Eq5Cache verifies one engine's incremental Eq. 5 reservation cache
+// against the retained from-scratch computation. A divergence means the
+// fast path is answering neighbors with numbers the paper's Eq. 5 does
+// not produce, corrupting every downstream B_r and admission decision.
+// Only a cache keyed at the current timestamp is re-derived (see
+// core.VerifyEq5CacheAt): that is the state the event being audited
+// actually consumed, and it keeps the sweep from dragging the
+// estimator indexes backward in time.
+func (c *Checker) Eq5Cache(cell string, now float64, e *core.Engine) {
+	diff, checked := e.VerifyEq5CacheAt(now)
+	if !checked || diff <= Eq5Tolerance {
+		return
+	}
+	hits, misses := e.Eq5CacheStats()
+	c.Failf("eq5-incremental", cell, now,
+		fmt.Sprintf("maxDiff=%v hits=%d misses=%d", diff, hits, misses),
+		"cached Eq. 5 sum diverges from the from-scratch walk by %v (tolerance %v)",
+		diff, Eq5Tolerance)
+}
+
 // Counters verifies counter consistency: a scope can never block more
 // connections than were requested nor drop more hand-offs than arrived
 // (the Tables 2–3 ratios P_CB = Blocked/Requested and P_HD =

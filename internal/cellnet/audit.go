@@ -23,12 +23,23 @@ import (
 func (n *Network) auditNow() {
 	ck := n.cfg.Audit
 	now := n.sim.Now()
+	n.auditTick++
+	// The Eq. 5 cache re-derivation repeats every cached direction's
+	// from-scratch walk — by far the costliest check here — so it runs
+	// on a stride of the already-sampled audit passes. The property test
+	// and core unit tests cover the invariant densely; this sweep only
+	// needs to catch drift in real simulation traffic eventually.
+	const eq5Stride = 4
+	checkEq5 := n.auditTick%eq5Stride == 0
 	engineConns := 0
 	var sys stats.Counters
 	for _, c := range n.cells {
 		name := fmt.Sprintf("cell %d", c.id)
 		l := c.engine.Ledger()
 		ck.Engine(name, now, l)
+		if checkEq5 {
+			ck.Eq5Cache(name, now, c.engine)
+		}
 		ck.Counters(name, now, c.counters)
 		if !n.cfg.Faults.Enabled && (l.DegradedBrCalcs != 0 || l.DegradedAdmissions != 0) {
 			// A fault-free in-process network can never lose a peer

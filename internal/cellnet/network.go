@@ -81,6 +81,10 @@ type Network struct {
 	// the count of injected exchange failures.
 	faultRng   *rand.Rand
 	peerFaults uint64
+
+	// auditTick counts auditNow passes; the expensive Eq. 5 cache
+	// re-derivation runs on a stride of it (see audit.go).
+	auditTick uint64
 }
 
 // New builds a network from a validated config.
@@ -295,9 +299,9 @@ func (n *Network) establish(c *cell, min, max int, wpath wired.Path, pledges []t
 	n.conns[conn.id] = conn
 	hop, ok := conn.path.NextHop()
 	if min == max {
-		c.engine.AddConnectionWithHint(conn.id, min, topology.Self, now, n.hintFor(c.id, hop, ok))
+		c.engine.AddConnection(conn.id, core.ConnSpec{Min: min, Prev: topology.Self, Hint: n.hintFor(c.id, hop, ok)}, now)
 	} else {
-		conn.bw = c.engine.AddElasticConnection(conn.id, min, max, topology.Self, now)
+		conn.bw = c.engine.AddConnection(conn.id, core.ConnSpec{Min: min, Max: max, Prev: topology.Self}, now)
 	}
 	n.noteBu(c, now)
 	n.scheduleDeparture(conn, hop, ok)
@@ -450,9 +454,9 @@ func (n *Network) enterCell(conn *connection, from, to *cell) {
 	prevLocal, _ := n.cfg.Topology.LocalOf(to.id, from.id)
 	nextHop, okNext := conn.path.NextHop()
 	if conn.min == conn.max {
-		to.engine.AddConnectionWithHint(conn.id, conn.min, prevLocal, now, n.hintFor(to.id, nextHop, okNext))
+		to.engine.AddConnection(conn.id, core.ConnSpec{Min: conn.min, Prev: prevLocal, Hint: n.hintFor(to.id, nextHop, okNext)}, now)
 	} else {
-		conn.bw = to.engine.AddElasticConnection(conn.id, conn.min, conn.max, prevLocal, now)
+		conn.bw = to.engine.AddConnection(conn.id, core.ConnSpec{Min: conn.min, Max: conn.max, Prev: prevLocal}, now)
 	}
 	n.noteBu(to, now)
 	conn.cell = to.id

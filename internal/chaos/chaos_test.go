@@ -45,7 +45,7 @@ func engineConfig() core.Config {
 func seedRing(nodes []*signaling.BSNode) {
 	for i, n := range nodes {
 		n.Engine().RecordDeparture(predict.Quadruplet{Event: 0, Prev: topology.Self, Next: 1, Sojourn: 10.5})
-		n.Engine().AddConnection(core.ConnID(i+1), 1+i, topology.Self, 0)
+		n.Engine().AddConnection(core.ConnID(i+1), core.ConnSpec{Min: 1+i, Prev: topology.Self}, 0)
 	}
 }
 
@@ -392,9 +392,9 @@ func TestChaosStarPartitionHeal(t *testing.T) {
 		}
 		// threeNodeLine shape: at now=10, T_est=1, node 1's B_r = 4+1.
 		nodes[0].Engine().RecordDeparture(predict.Quadruplet{Event: 0, Prev: topology.Self, Next: 1, Sojourn: 10.5})
-		nodes[0].Engine().AddConnection(1, 4, topology.Self, 0)
+		nodes[0].Engine().AddConnection(1, core.ConnSpec{Min: 4, Prev: topology.Self}, 0)
 		nodes[2].Engine().RecordDeparture(predict.Quadruplet{Event: 0, Prev: topology.Self, Next: 1, Sojourn: 10.5})
-		nodes[2].Engine().AddConnection(2, 1, topology.Self, 0)
+		nodes[2].Engine().AddConnection(2, core.ConnSpec{Min: 1, Prev: topology.Self}, 0)
 		return nodes
 	}
 

@@ -196,6 +196,14 @@ func (c Config) Validate() error {
 // instead of treating silence as "contributes nothing" / "infinitely
 // healthy", and marks the computation degraded. In-process deployments
 // (internal/cellnet without fault injection) always return ok=true.
+//
+// Degraded-value contract: ok=true additionally promises a finite,
+// non-negative value. Implementations need not police that themselves —
+// the engine passes every float answer through PeerValue, which demotes
+// NaN, ±Inf and negative values (e.g. a corrupt frame decoding to a
+// sentinel) to ok=false. Both the in-memory (internal/cellnet) and the
+// signaling (internal/signaling) implementations are judged by that one
+// helper, so their semantics cannot drift.
 type Peers interface {
 	// OutgoingReservation asks neighbor li to evaluate Eq. 5 toward this
 	// cell: the expected bandwidth of its connections that will hand off
@@ -211,6 +219,22 @@ type Peers interface {
 	// MaxSojourn returns neighbor li's current T_soj,max (the largest
 	// sojourn in its hand-off estimation functions).
 	MaxSojourn(li topology.LocalIndex, now float64) (tSojMax float64, ok bool)
+}
+
+// PeerValue validates one Peers float answer against the degraded-value
+// contract: the call must have succeeded (ok) and the value must be
+// finite and non-negative to be usable. It returns the value and
+// whether the caller may rely on it; on false the caller substitutes
+// its Fallback policy (or freezes, for window arithmetic) instead of
+// letting a corrupt or sentinel value poison Eqs. 5–6. Chain it
+// directly around a Peers call:
+//
+//	if v, ok := PeerValue(peers.OutgoingReservation(li, now, test)); ok { ... }
+func PeerValue(v float64, ok bool) (float64, bool) {
+	if !ok || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, false
+	}
+	return v, true
 }
 
 // Decision reports the outcome of an admission test.
@@ -248,6 +272,10 @@ type Engine struct {
 	tc       *TestController
 	lastBr   float64 // B_r^prev: target reservation from the latest calculation
 	brCalcs  uint64  // lifetime count of Eq. 6 evaluations by this engine
+
+	// eq5 memoizes Eq. 5 state across the back-to-back queries of an
+	// admission burst; see eq5cache.go for the exactness rules.
+	eq5 eq5Cache
 
 	// Degraded-mode accounting (unreachable neighbors, Fallback policy).
 	// lastOut holds each neighbor's most recent successful Eq. 5 answer
@@ -392,47 +420,44 @@ func (e *Engine) BrCalcCount() uint64 {
 	return e.brCalcs
 }
 
-// AddConnection registers a connection occupying the cell: a freshly
-// admitted one (prev = topology.Self) or a hand-off arrival (prev = the
-// origin cell's local index). The caller must have verified capacity.
-func (e *Engine) AddConnection(id ConnID, bw int, prev topology.LocalIndex, now float64) {
-	e.AddConnectionWithHint(id, bw, prev, now, NoHint)
+// ConnSpec describes a connection to register. The zero value of each
+// optional field means "absent": Max == 0 marks a rigid connection
+// (max = min), and Hint == topology.Self — never a valid hand-off
+// destination — means the next cell is unknown (NoHint also works).
+type ConnSpec struct {
+	// Min is the minimum (guaranteed) bandwidth in BUs. Required.
+	Min int
+	// Max caps an adaptive-QoS connection (§1): the engine grants as
+	// much of [Min, Max] as the link allows. Zero means rigid.
+	Max int
+	// Prev is where the mobile came from: topology.Self for a freshly
+	// admitted connection born here, or the origin cell's local index
+	// for a hand-off arrival.
+	Prev topology.LocalIndex
+	// Hint is the known next cell from route guidance (the paper's §7
+	// ITS/GPS extension): Eq. 5 then only estimates the hand-off *time*,
+	// concentrating the reserved bandwidth on the known destination.
+	Hint topology.LocalIndex
 }
 
-// AddConnectionWithHint is AddConnection for mobiles whose next cell is
-// already known from route guidance (the paper's §7 ITS/GPS extension):
-// Eq. 5 then only estimates the hand-off *time*, concentrating the
-// reserved bandwidth on the known destination. Pass NoHint when the
-// direction is unknown.
-func (e *Engine) AddConnectionWithHint(id ConnID, bw int, prev topology.LocalIndex, now float64, hint topology.LocalIndex) {
-	e.lock()
-	defer e.unlock()
+// AddConnection registers a connection occupying the cell and returns
+// the granted bandwidth (always Min for rigid connections). The caller
+// must have verified that Min fits (AdmitNew/AdmitHandOff with
+// bw = Min); AddConnection panics when it does not.
+func (e *Engine) AddConnection(id ConnID, spec ConnSpec, now float64) int {
+	min, max := spec.Min, spec.Max
+	if max == 0 {
+		max = min
+	}
+	if min <= 0 || max < min {
+		panic(fmt.Sprintf("core: bad bandwidth range [%d,%d]", min, max))
+	}
+	hint := spec.Hint
+	if hint == topology.Self {
+		hint = NoHint
+	}
 	if hint != NoHint && (hint < 1 || int(hint) > e.cfg.Degree) {
 		panic(fmt.Sprintf("core: hint %d outside neighbor range [1,%d]", hint, e.cfg.Degree))
-	}
-	if bw <= 0 {
-		panic(fmt.Sprintf("core: non-positive bandwidth %d", bw))
-	}
-	if _, dup := e.index[id]; dup {
-		panic(fmt.Sprintf("core: duplicate connection %d", id))
-	}
-	if e.used+e.pledged+bw > e.cfg.Capacity+e.cfg.HandOffMargin {
-		panic(fmt.Sprintf("core: adding %d BU over capacity (%d used, %d pledged, cap %d)",
-			bw, e.used, e.pledged, e.cfg.Capacity))
-	}
-	e.index[id] = len(e.conns)
-	e.conns = append(e.conns, conn{id: id, bw: bw, min: bw, max: bw, prev: prev, enteredAt: now, hint: hint})
-	e.used += bw
-}
-
-// AddElasticConnection registers an adaptive-QoS connection (§1): it
-// needs at least min BUs and can use up to max. The engine grants as
-// much of [min, max] as the link allows right now and returns the grant.
-// The caller must have verified that min fits (AdmitNew/AdmitHandOff
-// with bw = min).
-func (e *Engine) AddElasticConnection(id ConnID, min, max int, prev topology.LocalIndex, now float64) int {
-	if min <= 0 || max < min {
-		panic(fmt.Sprintf("core: bad elastic range [%d,%d]", min, max))
 	}
 	e.lock()
 	defer e.unlock()
@@ -441,16 +466,37 @@ func (e *Engine) AddElasticConnection(id ConnID, min, max int, prev topology.Loc
 	}
 	room := e.cfg.Capacity + e.cfg.HandOffMargin - e.used - e.pledged
 	if room < min {
-		panic(fmt.Sprintf("core: elastic min %d over capacity (room %d)", min, room))
+		panic(fmt.Sprintf("core: adding %d BU over capacity (%d used, %d pledged, cap %d)",
+			min, e.used, e.pledged, e.cfg.Capacity))
 	}
 	grant := max
 	if room < grant {
 		grant = room
 	}
-	e.index[id] = len(e.conns)
-	e.conns = append(e.conns, conn{id: id, bw: grant, min: min, max: max, prev: prev, enteredAt: now, hint: NoHint})
+	i := len(e.conns)
+	e.index[id] = i
+	e.conns = append(e.conns, conn{id: id, bw: grant, min: min, max: max, prev: spec.Prev, enteredAt: now, hint: hint})
 	e.used += grant
+	e.eq5Extend(i, now)
 	return grant
+}
+
+// AddConnectionWithHint registers a rigid connection with a known next
+// cell.
+//
+// Deprecated: call AddConnection with ConnSpec{Min: bw, Prev: prev,
+// Hint: hint}. This wrapper survives one PR for migration.
+func (e *Engine) AddConnectionWithHint(id ConnID, bw int, prev topology.LocalIndex, now float64, hint topology.LocalIndex) {
+	e.AddConnection(id, ConnSpec{Min: bw, Prev: prev, Hint: hint}, now)
+}
+
+// AddElasticConnection registers an adaptive-QoS connection and returns
+// the granted bandwidth.
+//
+// Deprecated: call AddConnection with ConnSpec{Min: min, Max: max,
+// Prev: prev}. This wrapper survives one PR for migration.
+func (e *Engine) AddElasticConnection(id ConnID, min, max int, prev topology.LocalIndex, now float64) int {
+	return e.AddConnection(id, ConnSpec{Min: min, Max: max, Prev: prev}, now)
 }
 
 // DowngradeToFit shrinks adaptive-QoS connections toward their minimum
@@ -458,6 +504,10 @@ func (e *Engine) AddElasticConnection(id ConnID, min, max int, prev topology.Loc
 // "reducing hand-off drops" role of adaptive QoS). All-or-nothing: if
 // even full degradation cannot make room, nothing changes and it
 // returns false.
+//
+// Grant changes leave any live Eq. 5 cache intact: reservation is based
+// on each connection's minimum QoS (conn.min), which up/downgrades
+// never touch.
 func (e *Engine) DowngradeToFit(need int) bool {
 	if need <= 0 {
 		panic(fmt.Sprintf("core: non-positive need %d", need))
@@ -558,6 +608,10 @@ func (e *Engine) RemoveConnection(id ConnID) {
 	}
 	e.conns = e.conns[:last]
 	delete(e.index, id)
+	// Removal reorders the table (swap-remove), and subtracting the
+	// term back out of a float sum would not reproduce a from-scratch
+	// walk bit-for-bit: drop any live Eq. 5 cache.
+	e.eq5.invalidate()
 }
 
 // Connection returns a connection's bandwidth, origin and entry time.
@@ -597,8 +651,8 @@ func (e *Engine) NoteHandOffArrival(now float64, dropped bool, peers Peers) {
 		tSojMax = 0
 		unknown := false
 		for li := topology.LocalIndex(1); int(li) <= e.cfg.Degree; li++ {
-			m, ok := peers.MaxSojourn(li, now)
-			if !ok || math.IsNaN(m) || math.IsInf(m, 0) || m < 0 {
+			m, ok := PeerValue(peers.MaxSojourn(li, now))
+			if !ok {
 				// Unreachable neighbor, or a corrupt frame decoding to
 				// ±Inf/NaN: its T_soj,max is unknown. Clamp here so a
 				// non-finite value can never enter the T_est window
@@ -635,6 +689,14 @@ func (e *Engine) NoteHandOffArrival(now float64, dropped bool, peers Peers) {
 // B_{this,toward} = Σ_j b(C_j) · p_h(C_j → toward within test), using
 // this cell's hand-off estimation functions and each connection's extant
 // sojourn time.
+//
+// Results are memoized per (now, test, estimator generation): repeated
+// queries at one key — the admission-burst pattern, where every
+// requesting neighbor asks at the same timestamp — share one set of
+// per-connection Eq. 4 denominators and reuse finished per-direction
+// sums, allocation-free and bit-identical to a from-scratch walk. A key
+// seen once pays a single fused build-and-accumulate pass, so one-shot
+// queries cost one table walk like the plain walk does.
 func (e *Engine) OutgoingReservation(now float64, toward topology.LocalIndex, test float64) float64 {
 	if e.cfg.Policy == ExpDwell {
 		// Analytical model: P(hand-off within test) = 1 − e^(−test/τ),
@@ -653,24 +715,25 @@ func (e *Engine) OutgoingReservation(now float64, toward topology.LocalIndex, te
 	e.lock()
 	defer e.unlock()
 	est := e.patterns.Estimator(now)
-	sum := 0.0
-	for _, c := range e.conns {
-		extSoj := now - c.enteredAt
-		if extSoj < 0 {
-			extSoj = 0
-		}
-		// Reservation is made on the basis of each connection's minimum
-		// QoS (§1: integration with adaptive-QoS schemes).
-		b := float64(c.min)
-		if c.hint != NoHint {
-			// §7 extension: the next cell is known; only the hand-off
-			// time is estimated.
-			if c.hint == toward {
-				sum += b * est.SojournProb(now, c.prev, c.hint, extSoj, test)
-			}
-			continue
-		}
-		sum += b * est.HandOffProb(now, c.prev, extSoj, test, toward)
+	c := &e.eq5
+	if !c.matches(now, test, est) {
+		// Fresh key: build the base state and this direction's sum in a
+		// single fused walk, so a key queried once costs one pass over
+		// the table — the same as the from-scratch walk — not a base
+		// pass plus an accumulation pass.
+		c.misses++
+		return e.eq5BuildAccumulate(now, test, est, toward)
+	}
+	t := int(toward)
+	if t >= 1 && t < len(c.done) && c.done[t] {
+		c.hits++
+		return c.sums[t]
+	}
+	c.misses++
+	sum := e.eq5Accumulate(toward)
+	if t >= 1 && t < len(c.done) {
+		c.sums[t] = sum
+		c.done[t] = true
 	}
 	return sum
 }
@@ -696,9 +759,9 @@ func (e *Engine) ComputeTargetReservation(now float64, peers Peers) float64 {
 	br := 0.0
 	degraded := false
 	for li := topology.LocalIndex(1); int(li) <= e.cfg.Degree; li++ {
-		v, ok := peers.OutgoingReservation(li, now, test)
+		v, ok := PeerValue(peers.OutgoingReservation(li, now, test))
 		e.lock()
-		if ok && !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 {
+		if ok {
 			e.lastOut[li-1] = v
 			e.lastOutAt[li-1] = now
 		} else {

@@ -67,8 +67,8 @@ func adaptiveConfig(p Policy) Config {
 
 func TestEngineBandwidthAccounting(t *testing.T) {
 	e := NewEngine(adaptiveConfig(AC1))
-	e.AddConnection(1, 4, topology.Self, 0)
-	e.AddConnection(2, 1, 1, 10)
+	e.AddConnection(1, ConnSpec{Min: 4, Prev: topology.Self}, 0)
+	e.AddConnection(2, ConnSpec{Min: 1, Prev: 1}, 10)
 	if e.UsedBandwidth() != 5 || e.ConnectionCount() != 2 {
 		t.Fatalf("used=%d count=%d", e.UsedBandwidth(), e.ConnectionCount())
 	}
@@ -87,24 +87,24 @@ func TestEngineBandwidthAccounting(t *testing.T) {
 
 func TestEngineDuplicateConnPanics(t *testing.T) {
 	e := NewEngine(adaptiveConfig(AC1))
-	e.AddConnection(1, 1, topology.Self, 0)
+	e.AddConnection(1, ConnSpec{Min: 1, Prev: topology.Self}, 0)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("duplicate AddConnection did not panic")
 		}
 	}()
-	e.AddConnection(1, 1, topology.Self, 0)
+	e.AddConnection(1, ConnSpec{Min: 1, Prev: topology.Self}, 0)
 }
 
 func TestEngineOverCapacityPanics(t *testing.T) {
 	e := NewEngine(adaptiveConfig(AC1))
-	e.AddConnection(1, 100, topology.Self, 0)
+	e.AddConnection(1, ConnSpec{Min: 100, Prev: topology.Self}, 0)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("over-capacity AddConnection did not panic")
 		}
 	}()
-	e.AddConnection(2, 1, topology.Self, 0)
+	e.AddConnection(2, ConnSpec{Min: 1, Prev: topology.Self}, 0)
 }
 
 func TestEngineRemoveUnknownPanics(t *testing.T) {
@@ -120,7 +120,7 @@ func TestEngineRemoveUnknownPanics(t *testing.T) {
 func TestStaticAdmission(t *testing.T) {
 	cfg := Config{Capacity: 100, Degree: 2, Policy: Static, StaticReserve: 10}
 	e := NewEngine(cfg)
-	e.AddConnection(1, 86, topology.Self, 0)
+	e.AddConnection(1, ConnSpec{Min: 86, Prev: topology.Self}, 0)
 	// 86 + 4 = 90 ≤ 100 − 10: admitted.
 	if d := e.AdmitNew(0, 4, nil); !d.Admitted || d.BrCalcs != 0 {
 		t.Fatalf("static admit 4: %+v", d)
@@ -143,7 +143,7 @@ func TestStaticAdmission(t *testing.T) {
 
 func TestNonePolicyAdmission(t *testing.T) {
 	e := NewEngine(Config{Capacity: 10, Degree: 1, Policy: None})
-	e.AddConnection(1, 9, topology.Self, 0)
+	e.AddConnection(1, ConnSpec{Min: 9, Prev: topology.Self}, 0)
 	if d := e.AdmitNew(0, 1, nil); !d.Admitted {
 		t.Fatal("None policy must admit up to capacity")
 	}
@@ -164,7 +164,7 @@ func TestOutgoingReservationEq5(t *testing.T) {
 	// A 4-BU connection that entered from prev 1 at t=100, now t=110
 	// (extant sojourn 10): within Test=25 s, window (10,35] catches the
 	// 30-s sojourns only: p_h(→2) = 3/4.
-	e.AddConnection(1, 4, 1, 100)
+	e.AddConnection(1, ConnSpec{Min: 4, Prev: 1}, 100)
 	got := e.OutgoingReservation(110, 2, 25)
 	if math.Abs(got-4*0.75) > 1e-12 {
 		t.Fatalf("B toward 2 = %v, want 3", got)
@@ -185,8 +185,8 @@ func TestOutgoingReservationEq5(t *testing.T) {
 func TestOutgoingReservationMultipleConnections(t *testing.T) {
 	e := NewEngine(adaptiveConfig(AC1))
 	e.RecordDeparture(predict.Quadruplet{Event: 0, Prev: topology.Self, Next: 1, Sojourn: 50})
-	e.AddConnection(1, 1, topology.Self, 100) // extSoj 20 at t=120
-	e.AddConnection(2, 4, topology.Self, 110) // extSoj 10 at t=120
+	e.AddConnection(1, ConnSpec{Min: 1, Prev: topology.Self}, 100) // extSoj 20 at t=120
+	e.AddConnection(2, ConnSpec{Min: 4, Prev: topology.Self}, 110) // extSoj 10 at t=120
 	// Both have p_h(→1) = 1 within Test=100: sum = 5.
 	if got := e.OutgoingReservation(120, 1, 100); math.Abs(got-5) > 1e-12 {
 		t.Fatalf("sum = %v, want 5", got)
@@ -213,7 +213,7 @@ func TestComputeTargetReservationEq6(t *testing.T) {
 
 func TestAC1Admission(t *testing.T) {
 	e := NewEngine(adaptiveConfig(AC1))
-	e.AddConnection(1, 90, topology.Self, 0)
+	e.AddConnection(1, ConnSpec{Min: 90, Prev: topology.Self}, 0)
 	p := &fakePeers{outgoing: map[topology.LocalIndex]float64{1: 3, 2: 3}} // B_r = 6
 	// 90 + 4 = 94 ≤ 100 − 6: admitted, exactly at the boundary.
 	d := e.AdmitNew(10, 4, p)
@@ -366,7 +366,7 @@ func TestDirectionHintConcentratesReservation(t *testing.T) {
 	e.RecordDeparture(predict.Quadruplet{Event: 1, Prev: 1, Next: 2, Sojourn: 30})
 
 	// Without a hint, a 4-BU connection splits its expected bandwidth.
-	e.AddConnection(1, 4, 1, 100)
+	e.AddConnection(1, ConnSpec{Min: 4, Prev: 1}, 100)
 	if got := e.OutgoingReservation(110, 2, 60); math.Abs(got-2) > 1e-12 {
 		t.Fatalf("unhinted toward 2 = %v, want 2", got)
 	}
@@ -374,7 +374,7 @@ func TestDirectionHintConcentratesReservation(t *testing.T) {
 
 	// With a §7 hint the whole 4 BUs concentrate on the known next cell,
 	// timed by the sojourn distribution.
-	e.AddConnectionWithHint(2, 4, 1, 100, 2)
+	e.AddConnection(2, ConnSpec{Min: 4, Prev: 1, Hint: 2}, 100)
 	if got := e.OutgoingReservation(110, 2, 60); math.Abs(got-4) > 1e-12 {
 		t.Fatalf("hinted toward 2 = %v, want 4", got)
 	}
@@ -393,7 +393,7 @@ func TestDirectionHintFallbackToMarginal(t *testing.T) {
 	// to dwell ~30 s (they all went to next 1): the sojourn estimate
 	// falls back to the marginal.
 	e.RecordDeparture(predict.Quadruplet{Event: 0, Prev: 1, Next: 1, Sojourn: 30})
-	e.AddConnectionWithHint(1, 4, 1, 100, 2)
+	e.AddConnection(1, ConnSpec{Min: 4, Prev: 1, Hint: 2}, 100)
 	if got := e.OutgoingReservation(110, 2, 60); math.Abs(got-4) > 1e-12 {
 		t.Fatalf("fallback hinted reservation = %v, want 4", got)
 	}
@@ -406,7 +406,7 @@ func TestDirectionHintOutOfRangePanics(t *testing.T) {
 			t.Fatal("hint 9 on degree-2 cell did not panic")
 		}
 	}()
-	e.AddConnectionWithHint(1, 1, topology.Self, 0, 9)
+	e.AddConnection(1, ConnSpec{Min: 1, Prev: topology.Self, Hint: 9}, 0)
 }
 
 func TestExpDwellOutgoingReservation(t *testing.T) {
@@ -414,7 +414,7 @@ func TestExpDwellOutgoingReservation(t *testing.T) {
 	// uniformly over 2 neighbors.
 	cfg := Config{Capacity: 100, Degree: 2, Policy: ExpDwell, ExpDwellMean: 36, ExpDwellWindow: 36}
 	e := NewEngine(cfg)
-	e.AddConnection(1, 10, topology.Self, 0)
+	e.AddConnection(1, ConnSpec{Min: 10, Prev: topology.Self}, 0)
 	want := 10 * (1 - math.Exp(-1)) / 2
 	if got := e.OutgoingReservation(100, 1, 36); math.Abs(got-want) > 1e-12 {
 		t.Fatalf("ExpDwell outgoing = %v, want %v", got, want)
@@ -422,7 +422,7 @@ func TestExpDwellOutgoingReservation(t *testing.T) {
 	// Memorylessness: the extant sojourn must not matter — same answer
 	// regardless of entry time (contrast with the estimator-based path).
 	e.RemoveConnection(1)
-	e.AddConnection(2, 10, topology.Self, 99)
+	e.AddConnection(2, ConnSpec{Min: 10, Prev: topology.Self}, 99)
 	if got := e.OutgoingReservation(100, 1, 36); math.Abs(got-want) > 1e-12 {
 		t.Fatalf("ExpDwell outgoing after re-entry = %v, want %v", got, want)
 	}
@@ -431,7 +431,7 @@ func TestExpDwellOutgoingReservation(t *testing.T) {
 func TestExpDwellAdmission(t *testing.T) {
 	cfg := Config{Capacity: 100, Degree: 2, Policy: ExpDwell, ExpDwellMean: 36, ExpDwellWindow: 36}
 	e := NewEngine(cfg)
-	e.AddConnection(1, 90, topology.Self, 0)
+	e.AddConnection(1, ConnSpec{Min: 90, Prev: topology.Self}, 0)
 	p := &fakePeers{outgoing: map[topology.LocalIndex]float64{1: 3, 2: 3}}
 	d := e.AdmitNew(10, 4, p)
 	if !d.Admitted || d.BrCalcs != 1 {
@@ -468,7 +468,7 @@ func TestPledgeAccounting(t *testing.T) {
 	if d := e.AdmitNew(0, 4, nil); !d.Admitted {
 		t.Fatal("admission within pledge headroom refused")
 	}
-	e.AddConnection(1, 4, topology.Self, 0)
+	e.AddConnection(1, ConnSpec{Min: 4, Prev: topology.Self}, 0)
 	// Hand-offs too: 4 used + 6 pledged + 1 > 10.
 	if e.AdmitHandOff(1) {
 		t.Fatal("hand-off broke a pledge")
@@ -478,7 +478,7 @@ func TestPledgeAccounting(t *testing.T) {
 	if !e.AdmitHandOff(6) {
 		t.Fatal("pledged arrival refused after unpledge")
 	}
-	e.AddConnection(2, 6, 1, 1)
+	e.AddConnection(2, ConnSpec{Min: 6, Prev: 1}, 1)
 	if e.UsedBandwidth() != 10 || e.PledgedBandwidth() != 0 {
 		t.Fatalf("used=%d pledged=%d", e.UsedBandwidth(), e.PledgedBandwidth())
 	}
@@ -486,7 +486,7 @@ func TestPledgeAccounting(t *testing.T) {
 
 func TestPledgeRefusedWhenFull(t *testing.T) {
 	e := NewEngine(Config{Capacity: 10, Degree: 1, Policy: MobSpec})
-	e.AddConnection(1, 8, topology.Self, 0)
+	e.AddConnection(1, ConnSpec{Min: 8, Prev: topology.Self}, 0)
 	if e.Pledge(3) {
 		t.Fatal("over-capacity pledge accepted")
 	}

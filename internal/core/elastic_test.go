@@ -9,8 +9,8 @@ import (
 
 func TestElasticGrantClampsToRoom(t *testing.T) {
 	e := NewEngine(Config{Capacity: 10, Degree: 1, Policy: None})
-	e.AddConnection(1, 7, topology.Self, 0)
-	grant := e.AddElasticConnection(2, 1, 4, topology.Self, 0)
+	e.AddConnection(1, ConnSpec{Min: 7, Prev: topology.Self}, 0)
+	grant := e.AddConnection(2, ConnSpec{Min: 1, Max: 4, Prev: topology.Self}, 0)
 	if grant != 3 {
 		t.Fatalf("grant = %d, want clamped 3", grant)
 	}
@@ -21,26 +21,26 @@ func TestElasticGrantClampsToRoom(t *testing.T) {
 
 func TestElasticGrantFullWhenRoom(t *testing.T) {
 	e := NewEngine(Config{Capacity: 10, Degree: 1, Policy: None})
-	if grant := e.AddElasticConnection(1, 1, 4, topology.Self, 0); grant != 4 {
+	if grant := e.AddConnection(1, ConnSpec{Min: 1, Max: 4, Prev: topology.Self}, 0); grant != 4 {
 		t.Fatalf("grant = %d, want 4", grant)
 	}
 }
 
 func TestElasticMinOverCapacityPanics(t *testing.T) {
 	e := NewEngine(Config{Capacity: 10, Degree: 1, Policy: None})
-	e.AddConnection(1, 10, topology.Self, 0)
+	e.AddConnection(1, ConnSpec{Min: 10, Prev: topology.Self}, 0)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("elastic min over capacity did not panic")
 		}
 	}()
-	e.AddElasticConnection(2, 1, 4, topology.Self, 0)
+	e.AddConnection(2, ConnSpec{Min: 1, Max: 4, Prev: topology.Self}, 0)
 }
 
 func TestDowngradeToFit(t *testing.T) {
 	e := NewEngine(Config{Capacity: 10, Degree: 1, Policy: None})
-	e.AddElasticConnection(1, 1, 4, topology.Self, 0) // granted 4
-	e.AddElasticConnection(2, 2, 6, topology.Self, 0) // granted 6
+	e.AddConnection(1, ConnSpec{Min: 1, Max: 4, Prev: topology.Self}, 0) // granted 4
+	e.AddConnection(2, ConnSpec{Min: 2, Max: 6, Prev: topology.Self}, 0) // granted 6
 	// A 4-BU hand-off needs 4 BUs: degrade 10 → 6.
 	if !e.DowngradeToFit(4) {
 		t.Fatal("downgrade failed despite 7 reclaimable BUs")
@@ -51,7 +51,7 @@ func TestDowngradeToFit(t *testing.T) {
 	if !e.AdmitHandOff(4) {
 		t.Fatal("hand-off still refused after downgrade")
 	}
-	e.AddConnection(3, 4, 1, 1)
+	e.AddConnection(3, ConnSpec{Min: 4, Prev: 1}, 1)
 	if e.DegradedBandwidth() != 4 {
 		t.Fatalf("degraded = %d, want 4", e.DegradedBandwidth())
 	}
@@ -63,8 +63,8 @@ func TestDowngradeToFit(t *testing.T) {
 
 func TestDowngradeAllOrNothing(t *testing.T) {
 	e := NewEngine(Config{Capacity: 10, Degree: 1, Policy: None})
-	e.AddElasticConnection(1, 3, 4, topology.Self, 0) // 1 reclaimable
-	e.AddConnection(2, 6, topology.Self, 0)
+	e.AddConnection(1, ConnSpec{Min: 3, Max: 4, Prev: topology.Self}, 0) // 1 reclaimable
+	e.AddConnection(2, ConnSpec{Min: 6, Prev: topology.Self}, 0)
 	before := e.UsedBandwidth()
 	if e.DowngradeToFit(3) {
 		t.Fatal("impossible downgrade succeeded")
@@ -76,7 +76,7 @@ func TestDowngradeAllOrNothing(t *testing.T) {
 
 func TestDowngradeNoopWhenFits(t *testing.T) {
 	e := NewEngine(Config{Capacity: 10, Degree: 1, Policy: None})
-	e.AddElasticConnection(1, 1, 4, topology.Self, 0)
+	e.AddConnection(1, ConnSpec{Min: 1, Max: 4, Prev: topology.Self}, 0)
 	if !e.DowngradeToFit(2) {
 		t.Fatal("fit refused")
 	}
@@ -90,7 +90,7 @@ func TestDowngradeNoopWhenFits(t *testing.T) {
 
 func TestRedistributeFreeRespectsReservation(t *testing.T) {
 	e := NewEngine(adaptiveConfig(AC1))
-	e.AddElasticConnection(1, 1, 40, topology.Self, 0) // granted 40
+	e.AddConnection(1, ConnSpec{Min: 1, Max: 40, Prev: topology.Self}, 0) // granted 40
 	e.DowngradeToFit(99)                               // short = 40+99−100 = 39 → degrade to the 1-BU minimum
 	if e.UsedBandwidth() != 1 {
 		t.Fatalf("setup: used = %d, want 1", e.UsedBandwidth())
@@ -116,7 +116,7 @@ func TestElasticReservationUsesMinQoS(t *testing.T) {
 	// of each connection".
 	e := NewEngine(adaptiveConfig(AC1))
 	e.RecordDeparture(predict.Quadruplet{Event: 0, Prev: topology.Self, Next: 1, Sojourn: 50})
-	e.AddElasticConnection(1, 1, 4, topology.Self, 10) // granted 4, min 1
+	e.AddConnection(1, ConnSpec{Min: 1, Max: 4, Prev: topology.Self}, 10) // granted 4, min 1
 	if got := e.OutgoingReservation(20, 1, 100); got != 1 {
 		t.Fatalf("Eq.5 contribution = %v, want min QoS 1", got)
 	}
@@ -124,7 +124,7 @@ func TestElasticReservationUsesMinQoS(t *testing.T) {
 
 func TestElasticRemoveFreesCurrentGrant(t *testing.T) {
 	e := NewEngine(Config{Capacity: 10, Degree: 1, Policy: None})
-	e.AddElasticConnection(1, 2, 8, topology.Self, 0)
+	e.AddConnection(1, ConnSpec{Min: 2, Max: 8, Prev: topology.Self}, 0)
 	e.RemoveConnection(1)
 	if e.UsedBandwidth() != 0 {
 		t.Fatalf("used = %d after remove", e.UsedBandwidth())

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"math"
+
+	"cellqos/internal/predict"
+	"cellqos/internal/topology"
+)
+
+// eq5Cache memoizes the Eq. 5 state of one engine for a single query
+// key (now, test, estimator, estimator generation). The admission fast
+// path hits the same key repeatedly — every neighbor a burst of
+// admissions fans out to asks this engine at the same timestamp and
+// window — so the expensive per-connection Eq. 4 denominators are built
+// once and each direction's sum is accumulated lazily on first request.
+//
+// Everything here must stay bit-exact with the retained from-scratch
+// walk (eq5Scratch): the golden corpus pins simulation bytes, and float
+// addition is not associative. Three rules keep it exact:
+//
+//   - the denominator of each connection is the same SurvivorWeight sum
+//     a scalar HandOffProb query performs, cached — not reassociated;
+//   - per-direction sums accumulate over connections in table order,
+//     the order the from-scratch walk uses;
+//   - a new connection appends at the end of the table, so extending a
+//     live sum by its contribution equals a from-scratch recomputation;
+//     any mutation that reorders or removes connections invalidates
+//     instead (subtracting floats back out would not round-trip).
+//
+// The buffers are reused across keys, so a steady-state query is
+// allocation-free.
+type eq5Cache struct {
+	valid  bool
+	now    float64
+	test   float64
+	est    *predict.Estimator
+	estGen uint64
+
+	// Per-connection state aligned with Engine.conns: ext is the
+	// clamped extant sojourn; den the Eq. 4 denominator (survivor
+	// weight) for hint-less connections; hintP the §7 sojourn
+	// probability for hinted connections, applied only toward the hint.
+	ext   []float64
+	den   []float64
+	hintP []float64
+
+	// Per-direction running Eq. 5 sums, indexed by int(toward) with
+	// index 0 unused; done marks directions already accumulated.
+	sums []float64
+	done []bool
+
+	hits, misses uint64 // lifetime accounting, exposed via Eq5CacheStats
+}
+
+// matches reports whether the live cache answers for this query key.
+func (c *eq5Cache) matches(now, test float64, est *predict.Estimator) bool {
+	return c.valid && c.now == now && c.test == test && c.est == est &&
+		c.estGen == est.Generation()
+}
+
+// invalidate discards the cached state (buffers are kept for reuse).
+func (c *eq5Cache) invalidate() { c.valid = false }
+
+// grow returns f resized to n without reallocating when capacity allows.
+func grow(f []float64, n int) []float64 {
+	if cap(f) < n {
+		return make([]float64, n)
+	}
+	return f[:n]
+}
+
+// eq5BuildAccumulate rebuilds the cache for a fresh query key and
+// answers the requesting direction in one fused walk: each connection's
+// base state (extant sojourn, Eq. 4 denominator or hinted sojourn
+// probability) is computed and its term toward the requested direction
+// accumulated immediately, so a key queried exactly once — the
+// steady-simulation pattern, where timestamps only advance — costs a
+// single pass over the table, like the from-scratch walk. The fusion is
+// value-neutral: per connection the same operations run in the same
+// order, and the direction sum still accumulates in table order.
+// Called under the engine lock.
+func (e *Engine) eq5BuildAccumulate(now, test float64, est *predict.Estimator, toward topology.LocalIndex) float64 {
+	c := &e.eq5
+	c.valid = true
+	c.now, c.test, c.est = now, test, est
+	n := len(e.conns)
+	c.ext = grow(c.ext, n)
+	c.den = grow(c.den, n)
+	c.hintP = grow(c.hintP, n)
+	sum := 0.0
+	for i := range e.conns {
+		e.eq5Base(i)
+		sum += e.eq5Term(i, toward)
+	}
+	d := e.cfg.Degree + 1
+	c.sums = grow(c.sums, d)
+	if cap(c.done) < d {
+		c.done = make([]bool, d)
+	} else {
+		c.done = c.done[:d]
+		for t := range c.done {
+			c.done[t] = false
+		}
+	}
+	if t := int(toward); t >= 1 && t < d {
+		c.sums[t] = sum
+		c.done[t] = true
+	}
+	// Read the generation after the walks above: any lazy index rebuild
+	// they triggered happened at this key's timestamp and is part of the
+	// state the cache was computed from.
+	c.estGen = est.Generation()
+	return sum
+}
+
+// eq5Base fills the cached per-connection state for table slot i at the
+// cache's key.
+func (e *Engine) eq5Base(i int) {
+	c := &e.eq5
+	cn := &e.conns[i]
+	ext := c.now - cn.enteredAt
+	if ext < 0 {
+		ext = 0
+	}
+	c.ext[i] = ext
+	if cn.hint != NoHint {
+		c.den[i] = 0
+		c.hintP[i] = c.est.SojournProb(c.now, cn.prev, cn.hint, ext, c.test)
+		return
+	}
+	c.hintP[i] = 0
+	c.den[i] = c.est.SurvivorWeight(c.now, cn.prev, ext)
+}
+
+// eq5Term returns connection i's Eq. 5 term toward one direction, from
+// the cached base state — bit-identical to the from-scratch term.
+func (e *Engine) eq5Term(i int, toward topology.LocalIndex) float64 {
+	c := &e.eq5
+	cn := &e.conns[i]
+	b := float64(cn.min)
+	if cn.hint != NoHint {
+		if cn.hint == toward {
+			return b * c.hintP[i]
+		}
+		return 0
+	}
+	p := 0.0
+	if c.den[i] != 0 {
+		// A never-seen (prev, toward) pair yields weight 0 and p = +0,
+		// exactly like the scalar HandOffProb query.
+		p = c.est.HandOffWeight(c.now, cn.prev, toward, c.ext[i], c.test) / c.den[i]
+	}
+	return b * p
+}
+
+// eq5Accumulate walks the connection table once for one direction using
+// the cached base state. Summation order matches eq5Scratch.
+func (e *Engine) eq5Accumulate(toward topology.LocalIndex) float64 {
+	sum := 0.0
+	for i := range e.conns {
+		sum += e.eq5Term(i, toward)
+	}
+	return sum
+}
+
+// eq5Extend incorporates the connection just appended at table slot i
+// into any live cache: when the key still matches, its base state is
+// computed and every already-accumulated direction extended — exactly
+// what a from-scratch walk at this key would now produce, since the new
+// connection sits at the end of the table. Any mismatch simply drops
+// the cache. Called under the engine lock by AddConnection.
+func (e *Engine) eq5Extend(i int, now float64) {
+	c := &e.eq5
+	if !c.valid {
+		return
+	}
+	if e.patterns == nil || c.now != now {
+		c.invalidate()
+		return
+	}
+	est := e.patterns.Estimator(now)
+	if est != c.est || est.Generation() != c.estGen {
+		c.invalidate()
+		return
+	}
+	c.ext = append(c.ext[:i], 0)
+	c.den = append(c.den[:i], 0)
+	c.hintP = append(c.hintP[:i], 0)
+	e.eq5Base(i)
+	// As in eq5BuildAccumulate, lazy rebuilds triggered by the new
+	// connection's first query at this timestamp move the generation
+	// without changing any value the cache already holds.
+	c.estGen = est.Generation()
+	for t := 1; t < len(c.done); t++ {
+		if c.done[t] {
+			c.sums[t] += e.eq5Term(i, topology.LocalIndex(t))
+		}
+	}
+}
+
+// eq5Scratch is the retained from-scratch Eq. 5 walk — the reference
+// semantics the cache must reproduce bit-for-bit, kept both as the
+// verifier's oracle and as documentation of the paper's sum:
+// B_{this,toward} = Σ_j b(C_j) · p_h(C_j → toward within test).
+func (e *Engine) eq5Scratch(now float64, toward topology.LocalIndex, test float64, est *predict.Estimator) float64 {
+	sum := 0.0
+	for i := range e.conns {
+		c := &e.conns[i]
+		extSoj := now - c.enteredAt
+		if extSoj < 0 {
+			extSoj = 0
+		}
+		// Reservation is made on the basis of each connection's minimum
+		// QoS (§1: integration with adaptive-QoS schemes).
+		b := float64(c.min)
+		if c.hint != NoHint {
+			// §7 extension: the next cell is known; only the hand-off
+			// time is estimated.
+			if c.hint == toward {
+				sum += b * est.SojournProb(now, c.prev, c.hint, extSoj, test)
+			}
+			continue
+		}
+		sum += b * est.HandOffProb(now, c.prev, extSoj, test, toward)
+	}
+	return sum
+}
+
+// Eq5CacheStats returns the lifetime (hit, miss) counts of the Eq. 5
+// query cache: hits answered from a memoized per-direction sum, misses
+// paid for an accumulation walk (diagnostics; not part of any report).
+func (e *Engine) Eq5CacheStats() (hits, misses uint64) {
+	e.lock()
+	defer e.unlock()
+	return e.eq5.hits, e.eq5.misses
+}
+
+// VerifyEq5Cache recomputes every cached per-direction Eq. 5 sum from
+// scratch at the cache's own key and returns the largest absolute
+// divergence observed; checked is false when no live cached sum was
+// comparable (no cache, stale generation, or nothing accumulated yet).
+// internal/audit wires this into the invariant sweep with a 1e-9
+// tolerance, keeping the incremental fast path honest against the
+// retained from-scratch path.
+func (e *Engine) VerifyEq5Cache() (maxDiff float64, checked bool) {
+	if e.patterns == nil {
+		return 0, false
+	}
+	e.lock()
+	defer e.unlock()
+	return e.verifyEq5Locked()
+}
+
+// VerifyEq5CacheAt is VerifyEq5Cache restricted to a cache whose key
+// timestamp equals now. The event-boundary invariant sweep uses it: it
+// certifies exactly the sums the just-fired event's admission queries
+// consumed, and the from-scratch walks run at the current timestamp, so
+// they never force the estimator indexes backward in time (re-verifying
+// a stale key would rebuild each windowed selection at the old
+// timestamp and again at the next real query, thrashing every audited
+// event).
+func (e *Engine) VerifyEq5CacheAt(now float64) (maxDiff float64, checked bool) {
+	if e.patterns == nil {
+		return 0, false
+	}
+	e.lock()
+	defer e.unlock()
+	if e.eq5.now != now {
+		return 0, false
+	}
+	return e.verifyEq5Locked()
+}
+
+func (e *Engine) verifyEq5Locked() (maxDiff float64, checked bool) {
+	c := &e.eq5
+	if !c.valid {
+		return 0, false
+	}
+	if est := e.patterns.Estimator(c.now); est != c.est || est.Generation() != c.estGen {
+		// Stale key: the next query discards the cache anyway; there is
+		// no live state to certify.
+		return 0, false
+	}
+	for t := 1; t < len(c.done); t++ {
+		if !c.done[t] {
+			continue
+		}
+		scratch := e.eq5Scratch(c.now, topology.LocalIndex(t), c.test, c.est)
+		if d := math.Abs(scratch - c.sums[t]); d > maxDiff {
+			maxDiff = d
+		}
+		checked = true
+	}
+	return maxDiff, checked
+}

@@ -70,10 +70,10 @@ func ExampleEngine_AdmitNew() {
 	// Cell 0 holds a 4-BU video call that history says will hand off
 	// into cell 1 within ~20 s.
 	engines[0].RecordDeparture(predict.Quadruplet{Event: 0, Prev: topology.Self, Next: 1, Sojourn: 20})
-	engines[0].AddConnection(1, 4, topology.Self, 90)
+	engines[0].AddConnection(1, core.ConnSpec{Min: 4, Prev: topology.Self}, 90)
 
 	// Cell 1 is nearly full: 95 of 100 BUs in use.
-	engines[1].AddConnection(2, 95, topology.Self, 0)
+	engines[1].AddConnection(2, core.ConnSpec{Min: 95, Prev: topology.Self}, 0)
 
 	// A new 4-BU request in cell 1 must clear C − B_r = 100 − 4: the
 	// predicted hand-off keeps the last BUs free.

@@ -100,7 +100,7 @@ func runEngineOps(t *testing.T, cfg core.Config, r *rand.Rand) {
 		case 0, 1: // rigid add, gated by the hand-off admission test
 			bw := 1 + r.IntN(8)
 			if e.AdmitHandOff(bw) {
-				e.AddConnection(nextID, bw, topology.LocalIndex(1+r.IntN(cfg.Degree)), now)
+				e.AddConnection(nextID, core.ConnSpec{Min: bw, Prev: topology.LocalIndex(1+r.IntN(cfg.Degree))}, now)
 				model[nextID] = rng{bw, bw}
 				nextID++
 			}
@@ -108,7 +108,7 @@ func runEngineOps(t *testing.T, cfg core.Config, r *rand.Rand) {
 		case 2: // rigid add gated by AdmitNew (full Eq. 4–6 path when adaptive)
 			bw := 1 + r.IntN(8)
 			if dec := e.AdmitNew(now, bw, zeroPeers{}); dec.Admitted {
-				e.AddConnection(nextID, bw, topology.Self, now)
+				e.AddConnection(nextID, core.ConnSpec{Min: bw, Prev: topology.Self}, now)
 				model[nextID] = rng{bw, bw}
 				nextID++
 			}
@@ -117,7 +117,7 @@ func runEngineOps(t *testing.T, cfg core.Config, r *rand.Rand) {
 			min := 1 + r.IntN(4)
 			max := min + r.IntN(7)
 			if got := room(); got >= min {
-				grant := e.AddElasticConnection(nextID, min, max, topology.Self, now)
+				grant := e.AddConnection(nextID, core.ConnSpec{Min: min, Max: max, Prev: topology.Self}, now)
 				if grant < min || grant > max || grant > got {
 					t.Fatalf("op %d: elastic grant %d outside [%d,%d] with room %d", op, grant, min, max, got)
 				}

@@ -44,10 +44,7 @@ func (e *Estimator) WriteTo(w io.Writer) (int64, error) {
 		return n, err
 	}
 	// Deterministic pair order: sort keys.
-	keys := make([]pairKey, 0, len(e.pairs))
-	for k := range e.pairs {
-		keys = append(keys, k)
-	}
+	keys := append([]pairKey(nil), e.allKeys...)
 	sort.Slice(keys, func(a, b int) bool {
 		if keys[a].prev != keys[b].prev {
 			return keys[a].prev < keys[b].prev
@@ -58,7 +55,7 @@ func (e *Estimator) WriteTo(w io.Writer) (int64, error) {
 		return n, err
 	}
 	for _, k := range keys {
-		p := e.pairs[k]
+		p := e.pair(k.prev, k.next)
 		if err := write(int32(k.prev)); err != nil {
 			return n, err
 		}
@@ -142,17 +139,18 @@ func (e *Estimator) ReadFrom(r io.Reader) (int64, error) {
 			return n, fmt.Errorf("predict: implausible sample count %d", count)
 		}
 		prev, next := topology.LocalIndex(prev32), topology.LocalIndex(next32)
-		k := pairKey{prev, next}
-		if _, dup := e.pairs[k]; dup {
+		if prev < 0 || next < 0 || prev >= maxLocalIndex || next >= maxLocalIndex {
+			// Local indices are cell-degree-sized; anything outside the
+			// dense-table bound is corrupt input, not a real topology.
+			return n, fmt.Errorf("predict: local index out of range in pair (%d,%d)", prev, next)
+		}
+		if e.pair(prev, next) != nil {
 			// WriteTo emits each pair exactly once; a duplicate means the
 			// input is corrupt (and concatenating the sample lists could
 			// break their event ordering, making the result unserializable).
 			return n, fmt.Errorf("predict: duplicate pair (%d,%d)", prev, next)
 		}
-		p := &pairData{}
-		e.pairs[k] = p
-		e.byPrev[prev] = append(e.byPrev[prev], p)
-		e.nexts[prev] = append(e.nexts[prev], next)
+		p := e.addPair(prev, next)
 		lastSample := math.Inf(-1)
 		for j := uint32(0); j < count; j++ {
 			var ev, soj float64
@@ -174,5 +172,6 @@ func (e *Estimator) ReadFrom(r io.Reader) (int64, error) {
 	if lastEvent > e.lastEvent {
 		e.lastEvent = lastEvent
 	}
+	e.gen++ // restored history invalidates any generation-keyed caches
 	return n, nil
 }

@@ -206,13 +206,39 @@ func (p *pairData) weightIn(lo, hi float64) float64 {
 	return p.weightAbove(lo) - p.weightAbove(hi)
 }
 
+// maxLocalIndex bounds the local indices an Estimator accepts. Cell
+// degrees are single digits; the bound only exists so the dense
+// per-index tables cannot be grown without limit by corrupt persisted
+// input.
+const maxLocalIndex = 1 << 12
+
+// prevGroup holds every pair sharing one prev, in first-Record order —
+// the iteration order of the Eq. 4 denominator sum, which must stay
+// stable so repeated queries produce bit-identical floats.
+type prevGroup struct {
+	pairs  []*pairData
+	nexts  []topology.LocalIndex // aligned with pairs
+	byNext []*pairData           // dense by int(next); nil = pair never seen
+}
+
 // Estimator accumulates quadruplets and answers Eq. 4 queries for one cell.
 type Estimator struct {
 	cfg     Config
 	weights []float64
-	pairs   map[pairKey]*pairData
-	byPrev  map[topology.LocalIndex][]*pairData // pairs grouped by prev
-	nexts   map[topology.LocalIndex][]topology.LocalIndex
+	// Dense pair tables (local indices are tiny): prevs is indexed by
+	// int(prev), allPairs/allKeys list every pair in first-Record order.
+	// No maps on the query path — lookups are two slice indexings.
+	prevs    []*prevGroup
+	allPairs []*pairData
+	allKeys  []pairKey // aligned with allPairs
+
+	// gen is the cache epoch: it advances whenever the selection backing
+	// probability queries may have changed — on Record, on an eviction
+	// that dropped samples, and on every per-pair index rebuild
+	// (including lazy rebuilds triggered by query-time drift past
+	// RebuildEvery, the "window shift"). Callers that memoize derived
+	// values key them on Generation and recompute on mismatch.
+	gen uint64
 
 	recorded  uint64 // total quadruplets ever recorded
 	evicted   uint64 // total quadruplets dropped from the cache
@@ -227,11 +253,54 @@ func New(cfg Config) *Estimator {
 	return &Estimator{
 		cfg:     cfg,
 		weights: cfg.weights(),
-		pairs:   make(map[pairKey]*pairData),
-		byPrev:  make(map[topology.LocalIndex][]*pairData),
-		nexts:   make(map[topology.LocalIndex][]topology.LocalIndex),
 	}
 }
+
+// group returns the prev's pair group, nil when prev was never recorded.
+func (e *Estimator) group(prev topology.LocalIndex) *prevGroup {
+	if prev < 0 || int(prev) >= len(e.prevs) {
+		return nil
+	}
+	return e.prevs[prev]
+}
+
+// pair returns the (prev, next) pair, nil when it was never recorded.
+func (e *Estimator) pair(prev, next topology.LocalIndex) *pairData {
+	g := e.group(prev)
+	if g == nil || next < 0 || int(next) >= len(g.byNext) {
+		return nil
+	}
+	return g.byNext[next]
+}
+
+// addPair registers a new (prev, next) pair in the dense tables. Callers
+// validate the index range first.
+func (e *Estimator) addPair(prev, next topology.LocalIndex) *pairData {
+	for int(prev) >= len(e.prevs) {
+		e.prevs = append(e.prevs, nil)
+	}
+	g := e.prevs[prev]
+	if g == nil {
+		g = &prevGroup{}
+		e.prevs[prev] = g
+	}
+	for int(next) >= len(g.byNext) {
+		g.byNext = append(g.byNext, nil)
+	}
+	p := &pairData{}
+	g.byNext[next] = p
+	g.pairs = append(g.pairs, p)
+	g.nexts = append(g.nexts, next)
+	e.allPairs = append(e.allPairs, p)
+	e.allKeys = append(e.allKeys, pairKey{prev, next})
+	return p
+}
+
+// Generation returns the estimator's cache epoch. Two queries bracketed
+// by equal Generation values (at the same query time) are backed by the
+// same sample selection; a caller-side cache of derived results is
+// invalidated exactly when the epoch moves.
+func (e *Estimator) Generation() uint64 { return e.gen }
 
 // Config returns the estimator's configuration.
 func (e *Estimator) Config() Config { return e.cfg }
@@ -252,19 +321,19 @@ func (e *Estimator) Record(q Quadruplet) {
 	if q.Event < e.lastEvent {
 		panic(fmt.Sprintf("predict: out-of-order event %v after %v", q.Event, e.lastEvent))
 	}
+	if q.Prev < 0 || q.Next < 0 || q.Prev >= maxLocalIndex || q.Next >= maxLocalIndex {
+		panic(fmt.Sprintf("predict: local index out of range in quadruplet (prev %d, next %d)", q.Prev, q.Next))
+	}
 	e.lastEvent = q.Event
-	k := pairKey{q.Prev, q.Next}
-	p := e.pairs[k]
+	p := e.pair(q.Prev, q.Next)
 	if p == nil {
-		p = &pairData{}
-		e.pairs[k] = p
-		e.byPrev[q.Prev] = append(e.byPrev[q.Prev], p)
-		e.nexts[q.Prev] = append(e.nexts[q.Prev], q.Next)
+		p = e.addPair(q.Prev, q.Next)
 	}
 	p.raw = append(p.raw, sample{event: q.Event, sojourn: q.Sojourn})
 	e.recorded++
 	e.prune(p, q.Event)
 	p.dirty = true
+	e.gen++
 }
 
 // prune applies the paper's cache-management rules to one pair at the
@@ -306,7 +375,8 @@ func (e *Estimator) prune(p *pairData, t float64) {
 // sweep lets the owner reclaim long-idle pairs (the paper's rule that
 // quadruplets unused for more than T_day + T_int may be deleted).
 func (e *Estimator) EvictBefore(t float64) {
-	for _, p := range e.pairs {
+	dropped := false
+	for _, p := range e.allPairs {
 		drop := 0
 		for drop < len(p.raw) && p.raw[drop].event < t {
 			drop++
@@ -315,7 +385,11 @@ func (e *Estimator) EvictBefore(t float64) {
 			p.raw = append(p.raw[:0], p.raw[drop:]...)
 			e.evicted += uint64(drop)
 			p.dirty = true
+			dropped = true
 		}
+	}
+	if dropped {
+		e.gen++
 	}
 }
 
@@ -348,14 +422,16 @@ func (e *Estimator) ensurePair(p *pairData, t0 float64) {
 
 // ensurePrev refreshes every pair reachable from prev.
 func (e *Estimator) ensurePrev(prev topology.LocalIndex, t0 float64) {
-	for _, p := range e.byPrev[prev] {
-		e.ensurePair(p, t0)
+	if g := e.group(prev); g != nil {
+		for _, p := range g.pairs {
+			e.ensurePair(p, t0)
+		}
 	}
 }
 
 // ensureAll refreshes every pair.
 func (e *Estimator) ensureAll(t0 float64) {
-	for _, p := range e.pairs {
+	for _, p := range e.allPairs {
 		e.ensurePair(p, t0)
 	}
 }
@@ -372,6 +448,7 @@ type WeightedSample struct {
 // §3.1 at query time t0, then the sorted prefix-sum index used by
 // probability queries.
 func (e *Estimator) rebuildPair(p *pairData, t0 float64) {
+	e.gen++ // the selection (and its prefix-sum table) changes here
 	p.builtAt = t0
 	p.hasIndex = true
 	p.dirty = false
@@ -461,40 +538,87 @@ func (e *Estimator) rebuildPair(p *pairData, t0 float64) {
 // into next within test seconds. It returns 0 (estimated stationary)
 // when no selected quadruplet from prev has a sojourn exceeding extSoj.
 func (e *Estimator) HandOffProb(t0 float64, prev topology.LocalIndex, extSoj, test float64, next topology.LocalIndex) float64 {
-	e.ensurePrev(prev, t0)
-	den := 0.0
-	for _, p := range e.byPrev[prev] {
-		den += p.weightAbove(extSoj)
-	}
+	den := e.SurvivorWeight(t0, prev, extSoj)
 	if den == 0 {
 		return 0
 	}
-	num := e.pairs[pairKey{prev, next}]
+	num := e.pair(prev, next)
 	if num == nil {
 		return 0
 	}
 	return num.weightIn(extSoj, extSoj+test) / den
 }
 
-// HandOffProbs returns p_h for every next cell seen from prev, as a map.
-// Shares one denominator computation across nexts.
-func (e *Estimator) HandOffProbs(t0 float64, prev topology.LocalIndex, extSoj, test float64) map[topology.LocalIndex]float64 {
+// SurvivorWeight returns the Eq. 4 denominator: the total selected
+// weight from prev whose sojourn strictly exceeds extSoj, at query time
+// t0 (summed in first-Record pair order, the order every probability
+// query uses). Splitting the denominator out lets a caller evaluating
+// many (next, toward) queries for one connection pay for it once.
+func (e *Estimator) SurvivorWeight(t0 float64, prev topology.LocalIndex, extSoj float64) float64 {
 	e.ensurePrev(prev, t0)
+	g := e.group(prev)
+	if g == nil {
+		return 0
+	}
 	den := 0.0
-	for _, p := range e.byPrev[prev] {
+	for _, p := range g.pairs {
 		den += p.weightAbove(extSoj)
 	}
-	out := make(map[topology.LocalIndex]float64, len(e.nexts[prev]))
-	if den == 0 {
-		return out
+	return den
+}
+
+// HandOffWeight returns the Eq. 4 numerator for (prev, next): the
+// selected weight with sojourn in (extSoj, extSoj+test]. Dividing by
+// SurvivorWeight at the same arguments yields HandOffProb exactly.
+func (e *Estimator) HandOffWeight(t0 float64, prev, next topology.LocalIndex, extSoj, test float64) float64 {
+	p := e.pair(prev, next)
+	if p == nil {
+		return 0
 	}
-	for i, next := range e.nexts[prev] {
-		p := e.byPrev[prev][i]
+	// Only this pair's selection feeds the numerator, so only it needs
+	// refreshing — the caller's SurvivorWeight already walked the whole
+	// group, and re-walking it here would double the per-query ensure
+	// cost on the hot single-direction path.
+	e.ensurePair(p, t0)
+	return p.weightIn(extSoj, extSoj+test)
+}
+
+// VisitHandOffProbs calls visit with p_h for every next cell seen from
+// prev whose probability is positive, sharing one denominator
+// computation across nexts and allocating nothing. Nexts are visited in
+// first-Record order.
+func (e *Estimator) VisitHandOffProbs(t0 float64, prev topology.LocalIndex, extSoj, test float64, visit func(next topology.LocalIndex, p float64)) {
+	den := e.SurvivorWeight(t0, prev, extSoj)
+	if den == 0 {
+		return
+	}
+	g := e.group(prev)
+	for i, p := range g.pairs {
 		if v := p.weightIn(extSoj, extSoj+test) / den; v > 0 {
-			out[next] = v
+			visit(g.nexts[i], v)
 		}
 	}
-	return out
+}
+
+// HandOffProbsInto appends (next, p_h) for every next cell seen from
+// prev with positive probability to the caller's buffers and returns
+// them — the reusable-buffer replacement for the retired map-returning
+// HandOffProbs. Passing slices with spare capacity makes the call
+// allocation-free.
+func (e *Estimator) HandOffProbsInto(t0 float64, prev topology.LocalIndex, extSoj, test float64,
+	nexts []topology.LocalIndex, probs []float64) ([]topology.LocalIndex, []float64) {
+	den := e.SurvivorWeight(t0, prev, extSoj)
+	if den == 0 {
+		return nexts, probs
+	}
+	g := e.group(prev)
+	for i, p := range g.pairs {
+		if v := p.weightIn(extSoj, extSoj+test) / den; v > 0 {
+			nexts = append(nexts, g.nexts[i])
+			probs = append(probs, v)
+		}
+	}
+	return nexts, probs
 }
 
 // SojournProb evaluates the conditional sojourn distribution for a
@@ -505,13 +629,17 @@ func (e *Estimator) HandOffProbs(t0 float64, prev topology.LocalIndex, extSoj, t
 // prev-marginal distribution when that pair has no usable history.
 func (e *Estimator) SojournProb(t0 float64, prev, next topology.LocalIndex, extSoj, test float64) float64 {
 	e.ensurePrev(prev, t0)
-	if p := e.pairs[pairKey{prev, next}]; p != nil {
+	if p := e.pair(prev, next); p != nil {
 		if den := p.weightAbove(extSoj); den > 0 {
 			return p.weightIn(extSoj, extSoj+test) / den
 		}
 	}
+	g := e.group(prev)
+	if g == nil {
+		return 0
+	}
 	den, num := 0.0, 0.0
-	for _, p := range e.byPrev[prev] {
+	for _, p := range g.pairs {
 		den += p.weightAbove(extSoj)
 		num += p.weightIn(extSoj, extSoj+test)
 	}
@@ -527,7 +655,7 @@ func (e *Estimator) SojournProb(t0 float64, prev, next topology.LocalIndex, extS
 func (e *Estimator) MaxSojourn(t0 float64) float64 {
 	e.ensureAll(t0)
 	max := 0.0
-	for _, p := range e.pairs {
+	for _, p := range e.allPairs {
 		if p.maxSoj > max {
 			max = p.maxSoj
 		}
@@ -540,26 +668,39 @@ func (e *Estimator) MaxSojourn(t0 float64) float64 {
 func (e *Estimator) SelectedCount(t0 float64) int {
 	e.ensureAll(t0)
 	n := 0
-	for _, p := range e.pairs {
+	for _, p := range e.allPairs {
 		n += len(p.sojSorted)
 	}
 	return n
 }
 
-// Selected returns the current weighted selection for a given prev, in
-// ascending sojourn order. Intended for tests and diagnostics.
-func (e *Estimator) Selected(t0 float64, prev topology.LocalIndex) []WeightedSample {
+// AppendSelected appends the current weighted selection for a given
+// prev to dst, in ascending sojourn order, and returns dst. Passing a
+// buffer with spare capacity makes the call allocation-free.
+func (e *Estimator) AppendSelected(dst []WeightedSample, t0 float64, prev topology.LocalIndex) []WeightedSample {
 	e.ensurePrev(prev, t0)
-	var out []WeightedSample
-	for i, p := range e.byPrev[prev] {
-		next := e.nexts[prev][i]
+	g := e.group(prev)
+	if g == nil {
+		return dst
+	}
+	start := len(dst)
+	for i, p := range g.pairs {
+		next := g.nexts[i]
 		prevCum := 0.0
 		for j, soj := range p.sojSorted {
 			w := p.wCum[j] - prevCum
 			prevCum = p.wCum[j]
-			out = append(out, WeightedSample{Sojourn: soj, Weight: w, Next: next})
+			dst = append(dst, WeightedSample{Sojourn: soj, Weight: w, Next: next})
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Sojourn < out[b].Sojourn })
-	return out
+	tail := dst[start:]
+	sort.Slice(tail, func(a, b int) bool { return tail[a].Sojourn < tail[b].Sojourn })
+	return dst
+}
+
+// Selected returns the current weighted selection for a given prev, in
+// ascending sojourn order. Intended for tests and diagnostics; hot
+// paths use AppendSelected with a reused buffer.
+func (e *Estimator) Selected(t0 float64, prev topology.LocalIndex) []WeightedSample {
+	return e.AppendSelected(nil, t0, prev)
 }

@@ -21,9 +21,12 @@ func TestEmptyEstimator(t *testing.T) {
 	if got := e.MaxSojourn(0); got != 0 {
 		t.Fatalf("MaxSojourn empty = %v, want 0", got)
 	}
-	if probs := e.HandOffProbs(0, 1, 0, 100); len(probs) != 0 {
-		t.Fatalf("HandOffProbs empty = %v", probs)
+	if nexts, probs := e.HandOffProbsInto(0, 1, 0, 100, nil, nil); len(nexts) != 0 || len(probs) != 0 {
+		t.Fatalf("HandOffProbsInto empty = %v, %v", nexts, probs)
 	}
+	e.VisitHandOffProbs(0, 1, 0, 100, func(next topology.LocalIndex, p float64) {
+		t.Fatalf("VisitHandOffProbs on empty estimator visited (%d, %v)", next, p)
+	})
 }
 
 func TestSingleQuadrupletBayes(t *testing.T) {
@@ -105,14 +108,27 @@ func TestHandOffProbsMatchesScalarQueries(t *testing.T) {
 			Sojourn: r.Float64() * 100,
 		})
 	}
+	var nexts []topology.LocalIndex
+	var probs []float64
 	for _, prev := range []topology.LocalIndex{0, 1, 2} {
 		for _, extSoj := range []float64{0, 10, 50, 200} {
-			probs := e.HandOffProbs(300, prev, extSoj, 25)
+			nexts, probs = e.HandOffProbsInto(300, prev, extSoj, 25, nexts[:0], probs[:0])
+			byNext := map[topology.LocalIndex]float64{}
+			for i, next := range nexts {
+				byNext[next] = probs[i]
+			}
+			visited := map[topology.LocalIndex]float64{}
+			e.VisitHandOffProbs(300, prev, extSoj, 25, func(next topology.LocalIndex, p float64) {
+				visited[next] = p
+			})
 			sum := 0.0
 			for next := topology.LocalIndex(1); next <= 3; next++ {
 				want := e.HandOffProb(300, prev, extSoj, 25, next)
-				if got := probs[next]; math.Abs(got-want) > 1e-12 {
-					t.Fatalf("probs[%d] = %v, scalar = %v", next, got, want)
+				if got := byNext[next]; math.Abs(got-want) > 1e-12 {
+					t.Fatalf("HandOffProbsInto[%d] = %v, scalar = %v", next, got, want)
+				}
+				if got := visited[next]; math.Abs(got-want) > 1e-12 {
+					t.Fatalf("VisitHandOffProbs[%d] = %v, scalar = %v", next, got, want)
 				}
 				sum += want
 			}
@@ -490,6 +506,68 @@ func TestPatternSetWeekendPeriodStretched(t *testing.T) {
 	}
 }
 
+// TestGenerationEpochs pins the cache-epoch contract: Generation moves
+// exactly when the selection backing queries may have changed — Record,
+// an eviction that drops samples, and index rebuilds (including lazy
+// window-shift rebuilds) — and holds still across pure queries.
+func TestGenerationEpochs(t *testing.T) {
+	e := stationary(100)
+	g0 := e.Generation()
+	e.Record(Quadruplet{Event: 1, Prev: 1, Next: 2, Sojourn: 10})
+	if e.Generation() == g0 {
+		t.Fatal("Record did not move the generation")
+	}
+	e.HandOffProb(5, 1, 0, 100, 2) // first query rebuilds the pair index
+	g1 := e.Generation()
+	e.HandOffProb(5, 1, 0, 100, 2)
+	e.HandOffProb(7, 1, 3, 50, 2) // infinite Tint: selection is time-independent
+	e.SurvivorWeight(9, 1, 0)
+	e.HandOffWeight(9, 1, 2, 0, 100)
+	if e.Generation() != g1 {
+		t.Fatalf("pure queries moved the generation %d -> %d", g1, e.Generation())
+	}
+	e.EvictBefore(0.5) // drops nothing
+	if e.Generation() != g1 {
+		t.Fatal("no-op eviction moved the generation")
+	}
+	e.EvictBefore(2) // drops the only sample
+	if e.Generation() == g1 {
+		t.Fatal("eviction that dropped a sample kept the generation")
+	}
+
+	// Finite Tint: query-time drift past RebuildEvery is a window shift
+	// and must show up as a new epoch on the next query.
+	f := New(Config{Tint: 3600, Period: 86400, NwinPeriods: 0, Weights: []float64{1}, NQuad: 10, RebuildEvery: 100})
+	f.Record(Quadruplet{Event: 1000, Prev: 1, Next: 2, Sojourn: 7})
+	f.HandOffProb(1000, 1, 0, 50, 2)
+	g2 := f.Generation()
+	f.HandOffProb(1050, 1, 0, 50, 2) // within the staleness budget
+	if f.Generation() != g2 {
+		t.Fatal("in-budget query moved the generation")
+	}
+	f.HandOffProb(1500, 1, 0, 50, 2) // past the budget: rebuild
+	if f.Generation() == g2 {
+		t.Fatal("window shift past RebuildEvery kept the generation")
+	}
+}
+
+func TestRecordRejectsBadLocalIndex(t *testing.T) {
+	for _, q := range []Quadruplet{
+		{Event: 0, Prev: -1, Next: 2, Sojourn: 1},
+		{Event: 0, Prev: 1, Next: -2, Sojourn: 1},
+		{Event: 0, Prev: 1 << 20, Next: 2, Sojourn: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Record(%+v) did not panic", q)
+				}
+			}()
+			stationary(10).Record(q)
+		}()
+	}
+}
+
 func BenchmarkHandOffProbIndexed(b *testing.B) {
 	e := stationary(100)
 	r := rand.New(rand.NewPCG(3, 0))
@@ -503,6 +581,29 @@ func BenchmarkHandOffProbIndexed(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.HandOffProb(1000, 1, 20, 30, 2)
 	}
+}
+
+// BenchmarkHandOffProbsInto measures the reusable-buffer fan-out query;
+// with warm buffers it must run allocation-free (the bench fails the
+// acceptance bar if -benchmem reports nonzero allocs/op).
+func BenchmarkHandOffProbsInto(b *testing.B) {
+	e := stationary(100)
+	r := rand.New(rand.NewPCG(3, 0))
+	for i := 0; i < 1000; i++ {
+		e.Record(Quadruplet{
+			Event: float64(i), Prev: topology.LocalIndex(r.IntN(3)),
+			Next: topology.LocalIndex(1 + r.IntN(6)), Sojourn: r.Float64() * 100,
+		})
+	}
+	nexts := make([]topology.LocalIndex, 0, 8)
+	probs := make([]float64, 0, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nexts, probs = e.HandOffProbsInto(1000, 1, 20, 30, nexts[:0], probs[:0])
+	}
+	_ = nexts
+	_ = probs
 }
 
 func BenchmarkRecord(b *testing.B) {

@@ -245,7 +245,7 @@ func TestReconnectHookRestoresLink(t *testing.T) {
 	n0.Attach(NodeID(1), c0)
 	n1.Attach(NodeID(0), c1)
 	n0.Engine().RecordDeparture(predict.Quadruplet{Event: 0, Prev: topology.Self, Next: 1, Sojourn: 10.5})
-	n0.Engine().AddConnection(1, 4, topology.Self, 0)
+	n0.Engine().AddConnection(1, core.ConnSpec{Min: 4, Prev: topology.Self}, 0)
 
 	if got, ok := n1.Peers().OutgoingReservation(1, 10, 5); !ok || got != 4 {
 		t.Fatalf("healthy query = %v,%v, want 4,true", got, ok)

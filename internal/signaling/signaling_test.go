@@ -245,9 +245,9 @@ func threeNodeLine(t *testing.T, policy core.Policy) []*BSNode {
 
 	// Local index of cell 1 from cells 0 and 2 is 1 (their only neighbor).
 	nodes[0].Engine().RecordDeparture(predict.Quadruplet{Event: 0, Prev: topology.Self, Next: 1, Sojourn: 10.5})
-	nodes[0].Engine().AddConnection(1, 4, topology.Self, 0)
+	nodes[0].Engine().AddConnection(1, core.ConnSpec{Min: 4, Prev: topology.Self}, 0)
 	nodes[2].Engine().RecordDeparture(predict.Quadruplet{Event: 0, Prev: topology.Self, Next: 1, Sojourn: 10.5})
-	nodes[2].Engine().AddConnection(2, 1, topology.Self, 0)
+	nodes[2].Engine().AddConnection(2, core.ConnSpec{Min: 1, Prev: topology.Self}, 0)
 	return nodes
 }
 
@@ -436,7 +436,7 @@ func TestTCPLoopbackQuery(t *testing.T) {
 
 	// Seed node 0 and query it from node 1 over real TCP.
 	n0.Engine().RecordDeparture(predict.Quadruplet{Event: 0, Prev: topology.Self, Next: 1, Sojourn: 10.5})
-	n0.Engine().AddConnection(1, 4, topology.Self, 0)
+	n0.Engine().AddConnection(1, core.ConnSpec{Min: 4, Prev: topology.Self}, 0)
 	got, ok := n1.Peers().OutgoingReservation(1, 10, 5)
 	if !ok || math.Abs(got-4) > 1e-12 {
 		t.Fatalf("TCP OutgoingReservation = %v,%v, want 4,true", got, ok)
