@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-json golden fuzz chaos verify
+.PHONY: build test vet lint race bench bench-json golden fuzz chaos verify
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,19 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# lint is the full static-analysis gate: stock go vet, then the five
+# repo-specific analyzers (nodeterm, maporderflow, peervalue,
+# deprecated, genepoch — see DESIGN.md §12) driven through the vet
+# -vettool protocol, then staticcheck and govulncheck when installed
+# (CI pins and installs both; locally they are optional extras).
+lint: vet
+	$(GO) build -o bin/cellqos-vet ./cmd/cellqos-vet
+	$(GO) vet -vettool=$(abspath bin/cellqos-vet) ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "lint: staticcheck not installed; skipping (CI runs it)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "lint: govulncheck not installed; skipping (CI runs it)"; fi
 
 # race exercises the scenario runner's worker pool and the engine
 # property test under the race detector; -short skips the long sweeps
@@ -53,7 +66,7 @@ fuzz:
 chaos:
 	$(GO) test -race -count=2 ./internal/chaos/ ./internal/signaling/ ./internal/faults/
 
-# verify is the tier-1 gate: build + vet + race. Performance is tracked
+# verify is the tier-1 gate: build + lint + race. Performance is tracked
 # separately — `make bench-json` refreshes BENCH_admission.json, and CI's
 # bench-smoke job keeps the harness compiling.
-verify: build vet race
+verify: build lint race

@@ -1,0 +1,257 @@
+// Command cellqos-vet is the multichecker for the repo's custom
+// go/analysis suite (internal/analysis/suite): nodeterm, maporderflow,
+// peervalue, deprecated and genepoch — the machine-checked forms of
+// the determinism, degradation and API invariants DESIGN.md §12
+// documents.
+//
+// It runs in two modes:
+//
+//   - vettool: `go vet -vettool=$(pwd)/bin/cellqos-vet ./...` — the go
+//     command drives it per package through the unitchecker protocol
+//     (a JSON .cfg file naming sources and export data), giving
+//     incremental caching for free. This is what `make lint` uses.
+//     The protocol (-V=full fingerprinting, -flags discovery, the
+//     Config schema) is reimplemented here on the standard library
+//     because x/tools is unavailable in the hermetic build.
+//
+//   - standalone: `cellqos-vet [-tests=false] [patterns...]` — loads
+//     packages itself via `go list -export` (internal/analysis.Load)
+//     and sweeps them in one process. Used by the suite's repo-wide
+//     regression test and for ad-hoc runs.
+//
+// Exit status: 0 clean, 1 operational error, 2 diagnostics reported.
+// Diagnostics honor the //cellqos:allow escape hatch (see DESIGN.md
+// §12 for the annotation policy).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cellqos/internal/analysis"
+	"cellqos/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The go command probes its vettool before the first real run:
+	// `-V=full` for the build-cache fingerprint, `-flags` for the
+	// tool's flag schema. Both must answer on stdout and exit 0.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		return printVersion()
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		return printFlags()
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return unitcheck(args[0])
+	}
+	return standalone(args)
+}
+
+// printVersion implements -V=full: "<name> version devel buildID=<sum>"
+// so the go command can fingerprint the tool binary for vet caching.
+func printVersion() int {
+	name := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil))
+	return 0
+}
+
+// printFlags implements -flags: the JSON flag schema the go command
+// reads to validate pass-through vet flags.
+func printFlags() int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	for _, a := range suite.Analyzers() {
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: "enable only " + a.Name + ": " + a.Doc})
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+	return 0
+}
+
+// vetConfig is the unitchecker protocol's per-package configuration,
+// field-compatible with the JSON the go command writes for
+// golang.org/x/tools/go/analysis/unitchecker.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the one package described by a .cfg file.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cellqos-vet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "cellqos-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// This suite exports no facts, but the go command expects the vetx
+	// output file to exist to cache the result.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "cellqos-vet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // facts-only pass for a dependency: nothing to do
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "cellqos-vet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if real, ok := cfg.ImportMap[path]; ok {
+			path = real
+		}
+		exp, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+	info := analysis.NewTypesInfo()
+	tconf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	tpkg, err := tconf.Check(cleanImportPath(cfg.ImportPath), fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "cellqos-vet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	pkg := &analysis.Package{Path: tpkg.Path(), Fset: fset, Files: files, Types: tpkg, TypesInfo: info}
+	findings, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, suite.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cellqos-vet: %v\n", err)
+		return 1
+	}
+	return report(findings)
+}
+
+// cleanImportPath strips go list's test-variant suffix.
+func cleanImportPath(ip string) string {
+	if i := strings.Index(ip, " ["); i >= 0 {
+		return ip[:i]
+	}
+	return ip
+}
+
+// standalone loads packages with the internal loader and sweeps them.
+func standalone(args []string) int {
+	fs := flag.NewFlagSet("cellqos-vet", flag.ContinueOnError)
+	tests := fs.Bool("tests", true, "also analyze _test.go files (test-augmented package variants)")
+	dir := fs.String("dir", ".", "module directory to resolve patterns in")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON instead of vet-style lines")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, *tests, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cellqos-vet: %v\n", err)
+		return 1
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, suite.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cellqos-vet: %v\n", err)
+		return 1
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		type finding struct {
+			Analyzer, File, Message string
+			Line, Column            int
+		}
+		out := make([]finding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, finding{f.Analyzer, f.Posn.Filename, f.Message, f.Posn.Line, f.Posn.Column})
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "cellqos-vet: %v\n", err)
+			return 1
+		}
+		if len(findings) > 0 {
+			return 2
+		}
+		return 0
+	}
+	return report(findings)
+}
+
+// report prints findings vet-style to stderr; exit 2 if any.
+func report(findings []analysis.Finding) int {
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s\n", f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,241 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass,
+// Diagnostic) plus the cellqos-specific pieces shared by every
+// analyzer: the //cellqos:allow suppression index and the repo-wide
+// runner.
+//
+// The hermetic build environment bakes in only the Go toolchain — no
+// module proxy, no vendored x/tools — so the framework is written
+// against the standard library exclusively (go/ast, go/types,
+// go/importer, go/token). The exported surface deliberately mirrors
+// x/tools so that, should the dependency ever become available, each
+// analyzer ports by changing one import line.
+//
+// Analyzers live in subpackages (nodeterm, maporderflow, peervalue,
+// deprecated, genepoch — see suite.Analyzers for the full set) and are
+// driven either by cmd/cellqos-vet (standalone or as a `go vet
+// -vettool`) or by the analysistest fixture harness.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. The shape matches
+// golang.org/x/tools/go/analysis.Analyzer (minus facts and requires,
+// which no cellqos analyzer needs).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //cellqos:allow annotations. Lower-case, no spaces.
+	Name string
+	// Doc is the help text: first sentence = summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+// A Pass connects an Analyzer to the single package being analyzed.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report publishes one diagnostic. The driver wraps it with the
+	// //cellqos:allow suppression filter.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding within the package under analysis.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a resolved diagnostic: position turned into a
+// token.Position and tagged with the analyzer that produced it.
+type Finding struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Posn, f.Message, f.Analyzer)
+}
+
+// AllowDirective is the comment prefix of the escape hatch. A comment
+//
+//	//cellqos:allow nodeterm — wall-clock is for progress display only
+//
+// suppresses nodeterm diagnostics on the offending line. The
+// annotation sits either at the end of that line (covers its own line)
+// or on its own line directly above (covers the next line) — never
+// both, so a trailing annotation cannot blanket the statement below.
+// Several analyzers may be named, comma-separated; everything after
+// the first space is a free-form justification, which the review
+// policy in DESIGN.md §12 requires.
+const AllowDirective = "//cellqos:allow"
+
+// AllowIndex maps file name → line → set of analyzer names allowed on
+// that line.
+type AllowIndex map[string]map[int]map[string]bool
+
+// BuildAllowIndex scans every comment in files for allow directives. A
+// trailing annotation (code precedes it on the line) covers exactly
+// its own line; an own-line annotation covers the line below it — so
+// an end-of-line annotation can never silently blanket the next
+// statement.
+func BuildAllowIndex(fset *token.FileSet, files []*ast.File) AllowIndex {
+	idx := AllowIndex{}
+	for _, f := range files {
+		codeCols := earliestCodeColumns(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				line := posn.Line
+				if col, hasCode := codeCols[line]; !hasCode || col >= posn.Column {
+					line++ // own-line annotation: covers the next line
+				}
+				lines := idx[posn.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					idx[posn.Filename] = lines
+				}
+				set := lines[line]
+				if set == nil {
+					set = map[string]bool{}
+					lines[line] = set
+				}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// earliestCodeColumns maps each line of f to the smallest column where
+// a non-comment token starts — how BuildAllowIndex tells trailing
+// annotations from own-line ones.
+func earliestCodeColumns(fset *token.FileSet, f *ast.File) map[int]int {
+	cols := map[int]int{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		posn := fset.Position(n.Pos())
+		if c, ok := cols[posn.Line]; !ok || posn.Column < c {
+			cols[posn.Line] = posn.Column
+		}
+		return true
+	})
+	return cols
+}
+
+// parseAllow extracts the analyzer names from one comment text.
+func parseAllow(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, AllowDirective)
+	if !ok {
+		return nil, false
+	}
+	rest = strings.TrimSpace(rest)
+	// The name list ends at the first space; the remainder is the
+	// justification.
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return nil, false
+	}
+	return strings.Split(rest, ","), true
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at
+// pos is covered by an allow directive. BuildAllowIndex has already
+// resolved each directive to the single line it covers (its own line
+// for trailing annotations, the line below for own-line ones).
+func (idx AllowIndex) Suppressed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	if len(idx) == 0 {
+		return false
+	}
+	posn := fset.Position(pos)
+	set := idx[posn.Filename][posn.Line]
+	return set[analyzer] || set["all"]
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// unsuppressed findings sorted by position. Analyzer errors abort the
+// run — a broken analyzer must not pass silently as "no findings".
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		idx := BuildAllowIndex(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d Diagnostic) {
+				if idx.Suppressed(pkg.Fset, name, d.Pos) {
+					return
+				}
+				findings = append(findings, Finding{
+					Analyzer: name,
+					Posn:     pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Posn.Filename != b.Posn.Filename {
+			return a.Posn.Filename < b.Posn.Filename
+		}
+		if a.Posn.Line != b.Posn.Line {
+			return a.Posn.Line < b.Posn.Line
+		}
+		if a.Posn.Column != b.Posn.Column {
+			return a.Posn.Column < b.Posn.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// NewTypesInfo allocates the full types.Info map set every pass needs.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

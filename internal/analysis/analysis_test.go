@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//cellqos:allow nodeterm", []string{"nodeterm"}},
+		{"//cellqos:allow nodeterm wall-clock is fine here", []string{"nodeterm"}},
+		{"//cellqos:allow nodeterm,genepoch staged migration", []string{"nodeterm", "genepoch"}},
+		{"//cellqos:allow", nil},
+		{"// cellqos:allow nodeterm", nil}, // directives must be unspaced
+		{"// plain comment", nil},
+	}
+	for _, tc := range cases {
+		got, ok := parseAllow(tc.text)
+		if tc.want == nil {
+			if ok {
+				t.Errorf("parseAllow(%q) = %v, want no directive", tc.text, got)
+			}
+			continue
+		}
+		if !ok || strings.Join(got, ",") != strings.Join(tc.want, ",") {
+			t.Errorf("parseAllow(%q) = %v,%v want %v", tc.text, got, ok, tc.want)
+		}
+	}
+}
+
+func TestSuppressionLines(t *testing.T) {
+	src := `package p
+
+func f() int {
+	a := 1 //cellqos:allow alpha same-line annotation
+	//cellqos:allow beta next-line annotation
+	b := 2
+	c := 3
+	return a + b + c
+}
+`
+	fset, files := parseOne(t, src)
+	idx := BuildAllowIndex(fset, files)
+
+	posAt := func(line int) token.Pos {
+		var pos token.Pos
+		ast.Inspect(files[0], func(n ast.Node) bool {
+			if n != nil && fset.Position(n.Pos()).Line == line && pos == token.NoPos {
+				pos = n.Pos()
+			}
+			return true
+		})
+		if pos == token.NoPos {
+			t.Fatalf("no node on line %d", line)
+		}
+		return pos
+	}
+
+	if !idx.Suppressed(fset, "alpha", posAt(4)) {
+		t.Error("same-line alpha annotation did not suppress")
+	}
+	if !idx.Suppressed(fset, "beta", posAt(6)) {
+		t.Error("line-above beta annotation did not suppress")
+	}
+	if idx.Suppressed(fset, "alpha", posAt(6)) {
+		t.Error("alpha suppressed on a line annotated only for beta")
+	}
+	if idx.Suppressed(fset, "beta", posAt(7)) {
+		t.Error("beta annotation leaked two lines down")
+	}
+}
+
+func TestRunAnalyzersFiltersAndSorts(t *testing.T) {
+	src := `package p
+
+var a = 1 //cellqos:allow toy suppressed on purpose
+var b = 2
+var c = 3
+`
+	fset, files := parseOne(t, src)
+	toy := &Analyzer{
+		Name: "toy",
+		Doc:  "report every package-level var, in reverse source order",
+		Run: func(pass *Pass) (any, error) {
+			var specs []*ast.ValueSpec
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if gd, ok := d.(*ast.GenDecl); ok {
+						for _, s := range gd.Specs {
+							if vs, ok := s.(*ast.ValueSpec); ok {
+								specs = append(specs, vs)
+							}
+						}
+					}
+				}
+			}
+			for i := len(specs) - 1; i >= 0; i-- {
+				pass.Reportf(specs[i].Pos(), "var %s", specs[i].Names[0].Name)
+			}
+			return nil, nil
+		},
+	}
+	pkg := &Package{Path: "p", Fset: fset, Files: files}
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{toy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want b and c only", findings)
+	}
+	if findings[0].Message != "var b" || findings[1].Message != "var c" {
+		t.Errorf("findings not position-sorted: %v", findings)
+	}
+	if got := findings[0].String(); !strings.Contains(got, "x.go:4:5: var b [toy]") {
+		t.Errorf("Finding.String() = %q, want vet-style file:line:col: message [analyzer]", got)
+	}
+}

@@ -1,0 +1,12 @@
+package deprecated_test
+
+import (
+	"testing"
+
+	"cellqos/internal/analysis/analysistest"
+	"cellqos/internal/analysis/deprecated"
+)
+
+func TestDeprecated(t *testing.T) {
+	analysistest.Run(t, "testdata", deprecated.Analyzer, "a")
+}

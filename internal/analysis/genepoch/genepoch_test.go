@@ -1,0 +1,12 @@
+package genepoch_test
+
+import (
+	"testing"
+
+	"cellqos/internal/analysis/analysistest"
+	"cellqos/internal/analysis/genepoch"
+)
+
+func TestGenEpoch(t *testing.T) {
+	analysistest.Run(t, "testdata", genepoch.Analyzer, "a")
+}

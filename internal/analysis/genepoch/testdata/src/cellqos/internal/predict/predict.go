@@ -1,0 +1,30 @@
+// Package predict is the genepoch fixture stub: the estimator surface
+// whose generation epoch the analyzer guards.
+package predict
+
+// Quadruplet mirrors one hand-off event record.
+type Quadruplet struct{ T float64 }
+
+// Estimator mirrors the real estimator: queries are generation-scoped,
+// mutators bump the generation.
+type Estimator struct{ gen uint64 }
+
+// Generation returns the epoch; it changes whenever derived state may.
+func (e *Estimator) Generation() uint64 { return e.gen }
+
+// Record feeds one quadruplet (bumps the generation).
+func (e *Estimator) Record(q Quadruplet) { e.gen++ }
+
+// SweepAt evicts out-of-date history (may bump the generation).
+func (e *Estimator) SweepAt(t float64) { e.gen++ }
+
+// SurvivorWeight is a generation-scoped Eq. 4 query.
+func (e *Estimator) SurvivorWeight(t0 float64, prev int, extSoj float64) float64 { return 1 }
+
+// HandOffWeight is a generation-scoped Eq. 5 query.
+func (e *Estimator) HandOffWeight(t0 float64, prev, next int, extSoj, test float64) float64 {
+	return 1
+}
+
+// MaxSojourn is a generation-scoped selected-sample bound.
+func (e *Estimator) MaxSojourn(t0 float64) float64 { return 1 }

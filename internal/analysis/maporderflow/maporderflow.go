@@ -1,0 +1,271 @@
+// Package maporderflow flags map iteration whose order escapes into an
+// order-sensitive sink: a float accumulation (float addition is not
+// associative), a slice appended across iterations (element order ends
+// up random), or an ordered writer (report/plot output bytes differ
+// run to run). This is exactly the class of bug that breaks
+// byte-identical golden Reports at parallel=1 vs parallel=8 — the
+// invariant TestReportDeterministicAcrossWorkers and the golden corpus
+// defend at runtime, caught here at vet time instead.
+//
+// The approved fix is the sorted-keys idiom: collect the keys, sort
+// them, range over the sorted slice. The analyzer recognizes that
+// idiom's first half — a key-collecting append whose slice is passed
+// to sort/slices ordering functions later in the same file — and does
+// not flag it.
+package maporderflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cellqos/internal/analysis"
+)
+
+// Analyzer reports map ranges whose iteration order reaches an
+// order-sensitive sink.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporderflow",
+	Doc: "flag range-over-map loops whose iteration order escapes into a float " +
+		"accumulation, an out-living slice append, or an ordered writer; sort " +
+		"the keys first",
+	Run: run,
+}
+
+// writerMethods are method names whose calls emit bytes in call order.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// fmtOrderedWriters maps fmt functions to the index of their writer
+// argument (-1 = implicit os.Stdout).
+var fmtOrderedWriters = map[string]int{
+	"Fprintf": 0, "Fprintln": 0, "Fprint": 0,
+	"Printf": -1, "Println": -1, "Print": -1,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		f := file
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.Types[rng.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkBody(pass, f, rng)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkBody walks one map-range body for order-sensitive sinks.
+func checkBody(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				lhs := n.Lhs[0]
+				if !isFloat(pass.TypesInfo.Types[lhs].Type) {
+					return true
+				}
+				if obj := rootObject(pass, lhs); declaredOutside(obj, rng) {
+					pass.Reportf(n.Pos(),
+						"float accumulation into %s inside a map range: float addition is not associative, so the result depends on map iteration order; range over sorted keys instead", name(obj))
+				}
+			case token.ASSIGN, token.DEFINE:
+				// x = append(x, ...) growing a slice that outlives the loop.
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) {
+					return true
+				}
+				obj := rootObject(pass, n.Lhs[0])
+				if !declaredOutside(obj, rng) {
+					return true
+				}
+				if sortedAfter(pass, file, rng, obj) {
+					return true // the sorted-keys idiom's collection pass
+				}
+				pass.Reportf(n.Pos(),
+					"append to %s inside a map range builds a slice in map iteration order; sort it (or collect keys and sort) before the order can escape", name(obj))
+			}
+		case *ast.CallExpr:
+			checkOrderedWrite(pass, rng, n)
+		}
+		return true
+	})
+}
+
+// checkOrderedWrite flags byte-emitting calls whose destination
+// outlives the loop.
+func checkOrderedWrite(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if pkg := pkgNameOf(pass, sel.X); pkg != nil {
+		switch pkg.Imported().Path() {
+		case "fmt":
+			argIdx, ok := fmtOrderedWriters[sel.Sel.Name]
+			if !ok {
+				return
+			}
+			if argIdx < 0 {
+				pass.Reportf(call.Pos(),
+					"fmt.%s inside a map range writes lines in map iteration order; range over sorted keys instead", sel.Sel.Name)
+				return
+			}
+			if obj := rootObject(pass, call.Args[argIdx]); declaredOutside(obj, rng) {
+				pass.Reportf(call.Pos(),
+					"fmt.%s to %s inside a map range emits bytes in map iteration order; range over sorted keys instead", sel.Sel.Name, name(obj))
+			}
+		case "io":
+			if sel.Sel.Name != "WriteString" || len(call.Args) == 0 {
+				return
+			}
+			if obj := rootObject(pass, call.Args[0]); declaredOutside(obj, rng) {
+				pass.Reportf(call.Pos(),
+					"io.WriteString to %s inside a map range emits bytes in map iteration order; range over sorted keys instead", name(obj))
+			}
+		}
+		return
+	}
+	if !writerMethods[sel.Sel.Name] {
+		return
+	}
+	// A method write: only order-sensitive when the receiver outlives
+	// the loop (a per-iteration strings.Builder is fine).
+	if obj := rootObject(pass, sel.X); declaredOutside(obj, rng) {
+		pass.Reportf(call.Pos(),
+			"%s.%s inside a map range emits bytes in map iteration order; range over sorted keys instead", name(obj), sel.Sel.Name)
+	}
+}
+
+// sortedAfter reports whether obj is handed to a sort/slices ordering
+// call positioned after the range statement, i.e. the collection half
+// of the sorted-keys idiom.
+func sortedAfter(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg := pkgNameOf(pass, sel.X)
+		if pkg == nil {
+			return true
+		}
+		if p := pkg.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObject(pass, arg) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// pkgNameOf returns the *types.PkgName if e is a package identifier.
+func pkgNameOf(pass *analysis.Pass, e ast.Expr) *types.PkgName {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pkg, _ := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return pkg
+}
+
+// rootObject resolves the leftmost identifier of an lvalue-ish
+// expression (x, x.f, x[i], *x, &x ...) to its object.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration lies outside the
+// range statement's span. A nil or position-less object (package-level
+// from another file, os.Stdout, a dotted import) counts as outside —
+// conservative in the flagging direction.
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	if obj == nil {
+		return true
+	}
+	if _, isPkg := obj.(*types.PkgName); isPkg {
+		return false // a package qualifier is not a destination value
+	}
+	pos := obj.Pos()
+	if !pos.IsValid() {
+		return true
+	}
+	return pos < rng.Pos() || pos > rng.End()
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func name(obj types.Object) string {
+	if obj == nil {
+		return "a value"
+	}
+	return obj.Name()
+}

@@ -1,0 +1,12 @@
+package maporderflow_test
+
+import (
+	"testing"
+
+	"cellqos/internal/analysis/analysistest"
+	"cellqos/internal/analysis/maporderflow"
+)
+
+func TestMapOrderFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", maporderflow.Analyzer, "a")
+}

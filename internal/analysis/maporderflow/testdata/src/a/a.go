@@ -1,0 +1,113 @@
+// Package a is the maporderflow fixture: map ranges whose iteration
+// order escapes into order-sensitive sinks, next to the approved
+// sorted-keys idioms that must stay quiet.
+package a
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+	"strings"
+)
+
+// floatAccumulation reproduces the class of pre-PR-1 bug that broke
+// byte-identical Reports at parallel=1 vs 8: Eq. 5-style float sums
+// walked in map order.
+func floatAccumulation(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum inside a map range`
+	}
+	return sum
+}
+
+// intAccumulation is order-independent (integer addition is
+// associative) and must not be flagged.
+func intAccumulation(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// escapingAppend builds a caller-visible slice in map order.
+func escapingAppend(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `append to out inside a map range`
+	}
+	return out
+}
+
+// sortedKeysIdiom is the approved fix: collect keys, sort, then range
+// the slice. The collection append is recognized and not flagged.
+func sortedKeysIdiom(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(m))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// slicesSortIdiom covers the slices-package spelling of the idiom.
+func slicesSortIdiom(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// writerInOrder emits report bytes in map order.
+func writerInOrder(w io.Writer, m map[string]float64) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s,%v\n", k, v) // want `fmt\.Fprintf to w inside a map range`
+	}
+}
+
+// stdoutInOrder prints in map order.
+func stdoutInOrder(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt\.Println inside a map range`
+	}
+}
+
+// builderAcrossIterations accumulates text in map order.
+func builderAcrossIterations(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `b\.WriteString inside a map range`
+	}
+	return b.String()
+}
+
+// perIterationBuilder is scoped to one key: no cross-iteration order
+// escapes, so it must not be flagged.
+func perIterationBuilder(m map[string][]string, cell func(string) string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, parts := range m {
+		var b strings.Builder
+		for _, p := range parts {
+			b.WriteString(cell(p))
+		}
+		out[k] = b.String()
+	}
+	return out
+}
+
+// allowEscapeHatch exercises //cellqos:allow with a justification.
+func allowEscapeHatch(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //cellqos:allow maporderflow fixture: result is compared with a tolerance
+	}
+	return sum
+}

@@ -1,0 +1,99 @@
+// Package nodeterm forbids nondeterministic time and entropy sources
+// inside the simulation core. Byte-identical golden Reports across
+// worker counts (DESIGN.md §8) hold only because every event is timed
+// by the simulation clock and every random draw comes from an
+// explicitly seeded per-purpose math/rand/v2 PCG stream. One stray
+// time.Now or global-rand call silently decouples replay from seed.
+package nodeterm
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cellqos/internal/analysis"
+)
+
+// Analyzer flags wall-clock and ambient-entropy reads in the
+// deterministic packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterm",
+	Doc: "forbid time.Now, math/rand (v1) and the math/rand/v2 global source " +
+		"inside the deterministic simulation packages; simulation time and " +
+		"seeded per-purpose PCG streams are the only clocks and entropy",
+	Run: run,
+}
+
+// scopePrefixes limits the check to the packages whose outputs must be
+// bit-reproducible from (config, seed) alone. CLIs, signaling (which
+// touches real sockets and deadlines) and the chaos harness legitimately
+// read the wall clock.
+var scopePrefixes = []string{
+	"cellqos/internal/core",
+	"cellqos/internal/predict",
+	"cellqos/internal/sim",
+	"cellqos/internal/cellnet",
+	"cellqos/internal/runner",
+	"cellqos/internal/experiments",
+}
+
+// globalRandV2 lists the math/rand/v2 top-level functions that draw
+// from the shared, randomly-seeded global source. Seeded generators
+// (rand.New(rand.NewPCG(seed, stream))) are the approved idiom and are
+// not flagged.
+var globalRandV2 = map[string]bool{
+	"Int": true, "Int32": true, "Int64": true,
+	"IntN": true, "Int32N": true, "Int64N": true, "N": true,
+	"Uint": true, "Uint32": true, "Uint64": true,
+	"UintN": true, "Uint32N": true, "Uint64N": true,
+	"Float32": true, "Float64": true,
+	"NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true,
+}
+
+func inScope(path string) bool {
+	for _, p := range scopePrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			// Only package-level selections (pkg.Name), not field or
+			// method selections on values.
+			if id, ok := sel.X.(*ast.Ident); !ok {
+				return true
+			} else if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); !isPkg {
+				return true
+			}
+			switch pkgPath := obj.Pkg().Path(); {
+			case pkgPath == "time" && obj.Name() == "Now":
+				pass.Reportf(sel.Pos(),
+					"time.Now is wall clock: deterministic packages must take time from the simulation clock (sim.Scheduler) or event timestamps")
+			case pkgPath == "math/rand":
+				pass.Reportf(sel.Pos(),
+					"math/rand (v1) is banned in deterministic packages: use an explicitly seeded math/rand/v2 PCG stream (rand.New(rand.NewPCG(seed, stream)))")
+			case pkgPath == "math/rand/v2" && globalRandV2[obj.Name()]:
+				pass.Reportf(sel.Pos(),
+					"rand.%s draws from the process-global, randomly seeded source: use an explicitly seeded per-purpose PCG stream (rand.New(rand.NewPCG(seed, stream)))", obj.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

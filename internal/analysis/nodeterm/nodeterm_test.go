@@ -1,0 +1,15 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"cellqos/internal/analysis/analysistest"
+	"cellqos/internal/analysis/nodeterm"
+)
+
+func TestNodeterm(t *testing.T) {
+	analysistest.Run(t, "testdata", nodeterm.Analyzer,
+		"cellqos/internal/sim",
+		"cellqos/internal/chaosharness",
+	)
+}

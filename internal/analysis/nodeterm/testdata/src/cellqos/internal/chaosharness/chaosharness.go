@@ -1,0 +1,14 @@
+// Package chaosharness is outside nodeterm's deterministic scope
+// (only internal/{core,predict,sim,cellnet,runner,experiments} are
+// covered): wall-clock deadlines and ambient entropy are legitimate
+// here, so nothing in this file may be flagged.
+package chaosharness
+
+import (
+	"math/rand"
+	"time"
+)
+
+func deadline() time.Time { return time.Now().Add(5 * time.Second) }
+
+func jitter() int { return rand.Intn(100) }

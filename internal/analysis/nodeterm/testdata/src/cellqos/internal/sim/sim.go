@@ -1,0 +1,59 @@
+// Package sim is a nodeterm fixture standing in for the deterministic
+// simulation core; every flagged line reproduces a pattern the
+// analyzer must catch at vet time.
+package sim
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// Clock is the only legitimate time source in the real package.
+type Clock struct{ now float64 }
+
+// Now returns simulation time; calling a method named Now on a
+// non-time package must not be flagged.
+func (c *Clock) Now() float64 { return c.now }
+
+func wallClock() float64 {
+	t := time.Now() // want `time\.Now is wall clock`
+	_ = c.Now()
+	return float64(t.UnixNano())
+}
+
+var c = &Clock{}
+
+func v1Rand() int {
+	// The regression shape: pre-PR-1 experiment code drew arrival
+	// jitter from math/rand's global source, so two runs with one seed
+	// diverged.
+	return rand.Intn(10) // want `math/rand \(v1\) is banned`
+}
+
+func v1Seeded() int {
+	// Even a locally seeded v1 generator is banned: the repo
+	// standardized on rand/v2 PCG streams, and the v1 type reference
+	// itself is flagged.
+	r := rand.New(rand.NewSource(1)) // want `math/rand \(v1\) is banned` `math/rand \(v1\) is banned`
+	return r.Intn(3)
+}
+
+func v2Global() float64 {
+	return randv2.Float64() // want `rand\.Float64 draws from the process-global`
+}
+
+func v2Seeded() float64 {
+	// The approved idiom: explicitly seeded per-purpose PCG stream.
+	r := randv2.New(randv2.NewPCG(42, 7))
+	return r.Float64()
+}
+
+func allowed() time.Time {
+	return time.Now() //cellqos:allow nodeterm fixture: progress display only
+}
+
+func allowedAbove() time.Time {
+	//cellqos:allow nodeterm fixture: annotation on the line above
+	return time.Now()
+}

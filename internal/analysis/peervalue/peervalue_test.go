@@ -1,0 +1,12 @@
+package peervalue_test
+
+import (
+	"testing"
+
+	"cellqos/internal/analysis/analysistest"
+	"cellqos/internal/analysis/peervalue"
+)
+
+func TestPeerValue(t *testing.T) {
+	analysistest.Run(t, "testdata", peervalue.Analyzer, "a")
+}

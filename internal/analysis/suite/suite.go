@@ -1,0 +1,26 @@
+// Package suite registers the full cellqos-vet analyzer set. It is the
+// single source of truth consumed by cmd/cellqos-vet (standalone and
+// vettool modes) and by the repo-wide sweep test that keeps `make
+// lint` green.
+package suite
+
+import (
+	"cellqos/internal/analysis"
+	"cellqos/internal/analysis/deprecated"
+	"cellqos/internal/analysis/genepoch"
+	"cellqos/internal/analysis/maporderflow"
+	"cellqos/internal/analysis/nodeterm"
+	"cellqos/internal/analysis/peervalue"
+)
+
+// Analyzers returns the five cellqos invariant analyzers in stable
+// order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		deprecated.Analyzer,
+		genepoch.Analyzer,
+		maporderflow.Analyzer,
+		nodeterm.Analyzer,
+		peervalue.Analyzer,
+	}
+}

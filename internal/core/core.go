@@ -481,24 +481,6 @@ func (e *Engine) AddConnection(id ConnID, spec ConnSpec, now float64) int {
 	return grant
 }
 
-// AddConnectionWithHint registers a rigid connection with a known next
-// cell.
-//
-// Deprecated: call AddConnection with ConnSpec{Min: bw, Prev: prev,
-// Hint: hint}. This wrapper survives one PR for migration.
-func (e *Engine) AddConnectionWithHint(id ConnID, bw int, prev topology.LocalIndex, now float64, hint topology.LocalIndex) {
-	e.AddConnection(id, ConnSpec{Min: bw, Prev: prev, Hint: hint}, now)
-}
-
-// AddElasticConnection registers an adaptive-QoS connection and returns
-// the granted bandwidth.
-//
-// Deprecated: call AddConnection with ConnSpec{Min: min, Max: max,
-// Prev: prev}. This wrapper survives one PR for migration.
-func (e *Engine) AddElasticConnection(id ConnID, min, max int, prev topology.LocalIndex, now float64) int {
-	return e.AddConnection(id, ConnSpec{Min: min, Max: max, Prev: prev}, now)
-}
-
 // DowngradeToFit shrinks adaptive-QoS connections toward their minimum
 // until need BUs fit beside the existing load (hand-off absorption, the
 // "reducing hand-off drops" role of adaptive QoS). All-or-nothing: if

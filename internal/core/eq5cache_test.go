@@ -136,18 +136,20 @@ func TestPeerValue(t *testing.T) {
 	}
 }
 
-// TestDeprecatedAddWrappers keeps the one-PR migration shims honest:
-// they must behave exactly like the ConnSpec forms they delegate to.
-func TestDeprecatedAddWrappers(t *testing.T) {
+// TestConnSpecForms pins the ConnSpec semantics the deleted PR-4
+// migration wrappers delegated to: a rigid hinted connection and an
+// adaptive-QoS range (their grace period is up; the deprecated
+// analyzer keeps any resurrection from going unnoticed).
+func TestConnSpecForms(t *testing.T) {
 	e := seedEq5Engine()
-	e.AddConnectionWithHint(10, 3, 1, 100, 2)
+	e.AddConnection(10, ConnSpec{Min: 3, Prev: 1, Hint: 2}, 100)
 	if c := e.conns[e.index[10]]; c.min != 3 || c.max != 3 || c.prev != 1 || c.hint != 2 {
-		t.Fatalf("AddConnectionWithHint: conn 10 = %+v, want rigid 3 from 1 hinted 2", c)
+		t.Fatalf("hinted rigid ConnSpec: conn 10 = %+v, want rigid 3 from 1 hinted 2", c)
 	}
-	if grant := e.AddElasticConnection(11, 2, 6, topology.Self, 100); grant != 6 {
-		t.Fatalf("AddElasticConnection grant = %d, want 6", grant)
+	if grant := e.AddConnection(11, ConnSpec{Min: 2, Max: 6, Prev: topology.Self}, 100); grant != 6 {
+		t.Fatalf("adaptive ConnSpec grant = %d, want 6", grant)
 	}
 	if c := e.conns[e.index[11]]; c.min != 2 || c.max != 6 || c.hint != NoHint {
-		t.Fatalf("AddElasticConnection: conn 11 = %+v, want [2,6] unhinted", c)
+		t.Fatalf("adaptive ConnSpec: conn 11 = %+v, want [2,6] unhinted", c)
 	}
 }

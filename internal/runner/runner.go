@@ -247,7 +247,10 @@ func (r *Runner) runPoint(ctx context.Context, p point, i int) (res PointResult)
 		res.Err = err
 		return res
 	}
-	start := time.Now()
+	// Wall-clock here feeds only PointResult.Wall (progress sinks and
+	// operator diagnostics), never Result or Report bytes — the golden
+	// corpus stays byte-identical whatever this reads.
+	start := time.Now() //cellqos:allow nodeterm wall-clock is diagnostics-only (PointResult.Wall)
 	n, err := cellnet.New(p.cfg)
 	if err != nil {
 		res.Err = fmt.Errorf("runner: %s: %w", p.key, err)
