@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-json golden fuzz chaos verify
+.PHONY: build test vet lint race bench bench-json bench-sim golden fuzz chaos verify
 
 build:
 	$(GO) build ./...
@@ -31,9 +31,10 @@ lint: vet
 # timeout leaves no headroom — raise it explicitly.
 race:
 	$(GO) test -race -short -timeout 20m ./...
-	$(GO) test -race ./internal/runner/
-	$(GO) test -race -run 'TestReportDeterministicAcrossWorkers|TestCanceledContextAborts' ./internal/experiments/
+	$(GO) test -race ./internal/runner/ ./internal/sim/shard/
+	$(GO) test -race -run 'TestReportDeterministicAcrossWorkers|TestReportDeterministicAcrossShards|TestMetroShardedDeterministic|TestCanceledContextAborts' ./internal/experiments/
 	$(GO) test -race -run 'TestPropertyEngineRandomOps|TestPropertyEq5Incremental' ./internal/core/
+	$(GO) test -race -run 'TestCompatShardedMatchesSingleHeap|TestAsyncShardCountInvariance|TestPartitionBoundaryRouting' ./internal/cellnet/
 
 # bench runs each table/figure once at reduced scale, including the
 # parallel-vs-serial runner comparison, across every package that
@@ -41,13 +42,22 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# bench-json measures the admission fast path at full benchtime and
-# refreshes the "current" side of BENCH_admission.json; the recorded
-# pre-optimization baseline is preserved (delete the file or pass
-# -rebaseline to cmd/benchjson to re-baseline deliberately).
+# bench-json measures the admission fast path at full benchtime,
+# refreshes the "current" side of BENCH_admission.json, and fails on an
+# allocation-profile regression beyond 10% of the pinned baseline. The
+# recorded pre-optimization baseline is preserved (delete the file or
+# pass -rebaseline to cmd/benchjson to re-baseline deliberately).
 bench-json:
 	$(GO) test -bench 'BenchmarkAdmitNew|BenchmarkOutgoingReservation' -benchmem -run '^$$' -count=1 ./internal/core/ \
-		| $(GO) run ./cmd/benchjson -out BENCH_admission.json
+		| $(GO) run ./cmd/benchjson -out BENCH_admission.json -check
+
+# bench-sim measures the sharded kernel on the 10,000-cell metro
+# workload and refreshes BENCH_sim.json, including the per-shard-count
+# scaling ratios. The gate asks for 3x at 8 shards, capped by the cores
+# the machine actually has (cmd/benchjson adjusts on small hosts).
+bench-sim:
+	$(GO) test -bench 'BenchmarkShardedMetro' -benchtime=3x -benchmem -run '^$$' -count=1 . \
+		| $(GO) run ./cmd/benchjson -out BENCH_sim.json -check -min-scaling 3
 
 # golden checks the pinned reduced-scale corpus for all experiments;
 # regenerate deliberately with `go test ./internal/golden/ -update`.

@@ -12,7 +12,12 @@ import (
 	"runtime"
 	"testing"
 
+	"cellqos/internal/cellnet"
+	"cellqos/internal/core"
 	"cellqos/internal/experiments"
+	"cellqos/internal/mobility"
+	"cellqos/internal/topology"
+	"cellqos/internal/traffic"
 )
 
 // benchOpts shrinks experiment runs to benchmark scale.
@@ -131,3 +136,47 @@ func BenchmarkAblationNQuad(b *testing.B) { benchExperiment(b, experiments.Ablat
 // BenchmarkAblationDropped measures the dropped-departure recording
 // ablation.
 func BenchmarkAblationDropped(b *testing.B) { benchExperiment(b, experiments.AblationDropped) }
+
+// metroWorkload is the BenchmarkShardedMetro scenario: a 10,000-cell
+// wrapped hex metro under AC3 with the asynchronous signaling model
+// (0.25 s inter-BS latency), the workload the sharded kernel exists
+// for. Results are identical at every shard count (the async model is
+// shard-count invariant); only wall time changes.
+func metroWorkload(shards int) cellnet.Config {
+	top := topology.Hex(100, 100, true)
+	cfg := cellnet.PaperBase()
+	cfg.Topology = top
+	cfg.Policy = core.AC3
+	cfg.Mix = traffic.Mix{VoiceRatio: 0.8}
+	cfg.Mobility = &mobility.HexWalk{Top: top, DiameterKm: 1, Speed: mobility.HighMobility, Persistence: 0.8}
+	cfg.Schedule = traffic.Constant{
+		Lambda: traffic.RateForLoad(150, cfg.Mix, cfg.MeanLifetime),
+		MinKmh: mobility.HighMobility.MinKmh, MaxKmh: mobility.HighMobility.MaxKmh,
+	}
+	cfg.Seed = 1
+	cfg.Sharding = cellnet.ShardingConfig{Shards: shards, SignalingLatency: 0.25, ExchangePeriod: 5}
+	return cfg
+}
+
+// BenchmarkShardedMetro runs the metro workload at 1, 2 and 8 kernel
+// shards; cmd/benchjson turns the sub-benchmark timings into the
+// per-shard-count scaling ratios pinned in BENCH_sim.json. Speedup is
+// bounded by the cores the machine actually has — on a single-core
+// host every shard count collapses to the same serial wall time.
+func BenchmarkShardedMetro(b *testing.B) {
+	for _, shards := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n, err := cellnet.New(metroWorkload(shards))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := n.Run(30)
+				if res.Total.Requested == 0 {
+					b.Fatal("metro run generated no traffic")
+				}
+			}
+		})
+	}
+}

@@ -12,6 +12,20 @@
 // Usage:
 //
 //	go test -bench ... -benchmem ./internal/core/ | benchjson -out BENCH_admission.json
+//
+// Sub-benchmarks named .../shards=N additionally produce a "scaling"
+// map: the ns/op ratio of the shards=1 run to each shards=N run of the
+// same benchmark (BENCH_sim.json pins the sharded kernel's speedup this
+// way).
+//
+// With -check the tool also gates: a current allocation profile
+// (B/op, allocs/op) more than -max-regression worse than the pinned
+// baseline fails, as does — with -check-time, for runs on the machine
+// that recorded the baseline — a ns/op regression. -min-scaling fails
+// when the best shards=N scaling falls short of the requested factor,
+// capped by the cores the host actually has (a single-core machine
+// cannot exhibit parallel speedup, so the gate adjusts rather than
+// demanding the impossible).
 package main
 
 import (
@@ -22,6 +36,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 )
@@ -39,7 +54,103 @@ type report struct {
 	Baseline map[string]result  `json:"baseline"`
 	Current  map[string]result  `json:"current"`
 	Speedup  map[string]float64 `json:"speedup"`
+	Scaling  map[string]float64 `json:"scaling,omitempty"`
 	Raw      []string           `json:"raw"`
+}
+
+// shardSuffix matches the .../shards=N sub-benchmark naming convention.
+var shardSuffix = regexp.MustCompile(`^(Benchmark\S*)/shards=(\d+)$`)
+
+// scaling derives the per-shard-count speedup map from the current
+// results: for every benchmark with a shards=1 entry, the ratio of its
+// ns/op to each shards=N sibling's.
+func scaling(current map[string]result) map[string]float64 {
+	out := map[string]float64{}
+	for name, res := range current {
+		m := shardSuffix.FindStringSubmatch(name)
+		if m == nil || m[2] == "1" || res.NsPerOp <= 0 {
+			continue
+		}
+		base, ok := current[m[1]+"/shards=1"]
+		if !ok || base.NsPerOp <= 0 {
+			continue
+		}
+		out[name] = base.NsPerOp / res.NsPerOp
+	}
+	return out
+}
+
+// check gates the current results against the pinned baseline. The
+// allocation profile (B/op, allocs/op) is machine-independent and is
+// always checked; ns/op only when checkTime is set, since wall time
+// against a baseline from different hardware is noise, not signal.
+func check(rep report, maxRegression float64, checkTime bool) error {
+	names := make([]string, 0, len(rep.Current))
+	for name := range rep.Current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var bad []string
+	worse := func(cur, base float64) bool {
+		return base > 0 && cur > base*(1+maxRegression)
+	}
+	for _, name := range names {
+		base, ok := rep.Baseline[name]
+		if !ok {
+			continue
+		}
+		cur := rep.Current[name]
+		if worse(cur.BytesPerOp, base.BytesPerOp) {
+			bad = append(bad, fmt.Sprintf("%s: %.0f B/op vs baseline %.0f", name, cur.BytesPerOp, base.BytesPerOp))
+		}
+		if worse(cur.AllocsPerOp, base.AllocsPerOp) {
+			bad = append(bad, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f", name, cur.AllocsPerOp, base.AllocsPerOp))
+		}
+		if checkTime && worse(cur.NsPerOp, base.NsPerOp) {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f", name, cur.NsPerOp, base.NsPerOp))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("regression beyond %.0f%%:\n  %s", maxRegression*100, joinLines(bad))
+	}
+	return nil
+}
+
+// checkScaling gates the sharded-kernel speedup. want is capped at
+// roughly half the host's cores: conservative synchronization overhead
+// aside, N shards cannot run faster than the cores carrying them.
+func checkScaling(sc map[string]float64, want float64, cores int) error {
+	if want <= 0 || len(sc) == 0 {
+		return nil
+	}
+	effective := want
+	if cap := 0.45 * float64(cores); cap < effective {
+		effective = cap
+	}
+	best, bestName := 0.0, ""
+	for name, v := range sc {
+		if v > best {
+			best, bestName = v, name
+		}
+	}
+	if best < effective {
+		return fmt.Errorf("scaling %.2fx (%s) below required %.2fx (%d cores, requested %.2fx)",
+			best, bestName, effective, cores, want)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: scaling ok: %.2fx (%s) >= %.2fx required on %d cores\n",
+		best, bestName, effective, cores)
+	return nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
 }
 
 // benchLine matches the go-test benchmark output format; the trailing
@@ -77,6 +188,10 @@ func run() error {
 	in := flag.String("in", "-", "bench output to parse (- for stdin)")
 	out := flag.String("out", "BENCH_admission.json", "JSON artifact to write")
 	rebaseline := flag.Bool("rebaseline", false, "overwrite the recorded baseline with this run")
+	doCheck := flag.Bool("check", false, "fail on allocation-profile regression beyond -max-regression")
+	maxRegression := flag.Float64("max-regression", 0.10, "allowed fractional regression vs the pinned baseline")
+	checkTime := flag.Bool("check-time", false, "with -check, also gate ns/op (same-machine baselines only)")
+	minScaling := flag.Float64("min-scaling", 0, "fail when the best shards=N speedup is below this factor (core-capped; 0 = off)")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -117,12 +232,21 @@ func run() error {
 			rep.Speedup[name] = base.NsPerOp / rep.Current[name].NsPerOp
 		}
 	}
+	rep.Scaling = scaling(rep.Current)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(*out, append(buf, '\n'), 0o644)
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	if *doCheck {
+		if err := check(rep, *maxRegression, *checkTime); err != nil {
+			return err
+		}
+	}
+	return checkScaling(rep.Scaling, *minScaling, runtime.NumCPU())
 }
 
 func main() {

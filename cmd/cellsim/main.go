@@ -14,6 +14,7 @@
 //	cellsim -backbone star -bs-link 40 -msc-link 120
 //	cellsim -policy ac3 -reps 8 -parallel 4 -timeout 5m
 //	cellsim -policy ac3 -audit 32
+//	cellsim -topology hex -rows 8 -cols 8 -shards 4 -signaling-latency 0.25
 //
 // With -reps N the scenario is replicated with seeds seed..seed+N-1 on
 // -parallel workers (internal/runner) and per-replication plus mean
@@ -95,6 +96,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		faultDrop     = fs.Float64("fault-drop", 0, "probability each peer information exchange fails (0 = healthy signaling)")
 		faultFallback = fs.String("fault-fallback", "decay", "degradation policy for unreachable neighbors: decay|guard|zero")
+
+		shards     = fs.Int("shards", 0, "event-kernel shards (0/1 = single heap; >1 partitions the cells)")
+		sigLatency = fs.Float64("signaling-latency", 0, "one-way inter-BS signaling latency in seconds (0 = synchronous; >0 enables the async model)")
+		exchange   = fs.Float64("exchange-period", 0, "async model: peer state exchange period in seconds (default 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -156,6 +161,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	cfg.HandOffMargin = *margin
 	cfg.DirectionHints = *hints
+	cfg.Sharding = cellnet.ShardingConfig{
+		Shards:           *shards,
+		SignalingLatency: *sigLatency,
+		ExchangePeriod:   *exchange,
+	}
 
 	var sr mobility.SpeedRange
 	switch strings.ToLower(*speed) {

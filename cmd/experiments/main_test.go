@@ -14,8 +14,8 @@ func TestSmokeList(t *testing.T) {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
 	lines := strings.Count(strings.TrimRight(out.String(), "\n"), "\n") + 1
-	if lines != 20 {
-		t.Errorf("-list printed %d experiments, want 20:\n%s", lines, out.String())
+	if lines != 21 {
+		t.Errorf("-list printed %d experiments, want 21:\n%s", lines, out.String())
 	}
 }
 

@@ -1,0 +1,50 @@
+package a
+
+import "sort"
+
+// This fixture models the sharded kernel's barrier merge
+// (internal/sim/shard): per-shard outboxes of timestamped messages
+// merged into one delivery sequence. The merge IS the determinism
+// boundary — if messages reach the receiving heaps in map order, the
+// cross-shard event order (and with it every golden Report) varies run
+// to run.
+
+type msg struct {
+	at  float64
+	key uint64
+}
+
+// mergeUnordered drains a map of per-shard outboxes straight into the
+// delivery slice: the messages arrive in map order, so same-time
+// messages from different shards fire in random order.
+func mergeUnordered(outboxes map[int][]msg) []msg {
+	var delivery []msg
+	for _, box := range outboxes {
+		for _, m := range box {
+			delivery = append(delivery, m) // want `append to delivery inside a map range`
+		}
+	}
+	return delivery
+}
+
+// mergeByShardID is the approved idiom: collect the shard IDs, sort
+// them, then drain the outboxes in shard order and order the combined
+// sequence by (at, key). Nothing here may be flagged.
+func mergeByShardID(outboxes map[int][]msg) []msg {
+	shards := make([]int, 0, len(outboxes))
+	for s := range outboxes {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	var delivery []msg
+	for _, s := range shards {
+		delivery = append(delivery, outboxes[s]...)
+	}
+	sort.SliceStable(delivery, func(i, j int) bool {
+		if delivery[i].at != delivery[j].at {
+			return delivery[i].at < delivery[j].at
+		}
+		return delivery[i].key < delivery[j].key
+	})
+	return delivery
+}

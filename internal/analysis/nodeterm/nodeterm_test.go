@@ -10,6 +10,7 @@ import (
 func TestNodeterm(t *testing.T) {
 	analysistest.Run(t, "testdata", nodeterm.Analyzer,
 		"cellqos/internal/sim",
+		"cellqos/internal/sim/shard",
 		"cellqos/internal/chaosharness",
 	)
 }

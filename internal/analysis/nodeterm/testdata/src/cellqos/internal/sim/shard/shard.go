@@ -1,0 +1,25 @@
+// Package shard is a nodeterm fixture standing in for the sharded
+// event kernel: the scope check matches package-path prefixes, so the
+// subpackage must be covered by the cellqos/internal/sim entry — a
+// wall-clock read or global RNG draw inside the cross-shard merge
+// would silently break (time, shard, seq) determinism.
+package shard
+
+import (
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// windowDeadline reproduces the tempting bug: pacing a conservative
+// window barrier off the wall clock instead of simulation time.
+func windowDeadline() float64 {
+	t := time.Now() // want `time\.Now is wall clock`
+	return float64(t.UnixNano())
+}
+
+// tieBreak reproduces drawing a merge tie-break from the global v2
+// source; ties must come from the (time, shard, seq) order, never from
+// entropy.
+func tieBreak() uint64 {
+	return randv2.Uint64() // want `rand\.Uint64 draws from the process-global, randomly seeded source`
+}

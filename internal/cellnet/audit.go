@@ -22,7 +22,7 @@ import (
 //     paths of hops × min-QoS bandwidth; paths released exactly once.
 func (n *Network) auditNow() {
 	ck := n.cfg.Audit
-	now := n.sim.Now()
+	now := n.now()
 	n.auditTick++
 	// The Eq. 5 cache re-derivation repeats every cached direction's
 	// from-scratch walk — by far the costliest check here — so it runs

@@ -106,6 +106,77 @@ type Config struct {
 	TraceCells []topology.CellID
 	// TraceMinGap thins trace series (seconds between kept points).
 	TraceMinGap float64
+	// Sharding partitions one run's cells across event-kernel shards
+	// (internal/sim/shard) for metro-scale runs. The zero value — one
+	// shard, zero latency — is the classic single-heap simulation.
+	Sharding ShardingConfig
+}
+
+// ShardingConfig selects the event kernel and, with a positive
+// signaling latency, the asynchronous peer-exchange model that makes
+// genuinely parallel execution deterministic.
+type ShardingConfig struct {
+	// Shards is the number of kernel shards; 0 and 1 both mean the
+	// single-heap sim.Simulator. With SignalingLatency == 0, shards > 1
+	// selects the serial (time, shard, seq) merge: cells are
+	// partitioned across per-shard heaps but events still interleave
+	// one at a time, so classic synchronous semantics — and the golden
+	// corpus — are preserved at any shard count.
+	Shards int
+	// SignalingLatency, when positive, switches the run to the
+	// asynchronous signaling model: every cross-cell interaction (peer
+	// state exchange and hand-off control) travels as a timestamped
+	// message with this one-way delay in seconds, cells draw from
+	// per-cell and per-connection RNG streams, and shards execute
+	// concurrently under a conservative lookahead equal to this
+	// latency. Results are byte-identical at any shard count by
+	// construction, but differ from the zero-latency model: peer state
+	// is refreshed by periodic exchange rounds instead of synchronous
+	// queries. Requires a plain scenario — no Backbone, MobSpec, soft
+	// hand-off, fault injection, or SkipDroppedDepartures.
+	SignalingLatency float64
+	// ExchangePeriod is the interval between peer-exchange rounds in
+	// the asynchronous model (each round refreshes every cell's view of
+	// its neighbors). Defaults to 1 s when zero.
+	ExchangePeriod float64
+}
+
+// Async reports whether the asynchronous signaling model is selected.
+func (s ShardingConfig) Async() bool { return s.SignalingLatency > 0 }
+
+// NumShards returns the effective shard count (≥ 1).
+func (s ShardingConfig) NumShards() int {
+	if s.Shards < 1 {
+		return 1
+	}
+	return s.Shards
+}
+
+// exchangeEvery returns the effective peer-exchange period.
+func (s ShardingConfig) exchangeEvery() float64 {
+	if s.ExchangePeriod > 0 {
+		return s.ExchangePeriod
+	}
+	return 1
+}
+
+// Validate checks sharding invariants in isolation; cross-field checks
+// against the rest of the scenario live in Config.Validate.
+func (s ShardingConfig) Validate() error {
+	if s.Shards < 0 {
+		return fmt.Errorf("cellnet: negative shard count %d", s.Shards)
+	}
+	if s.SignalingLatency < 0 {
+		return fmt.Errorf("cellnet: negative signaling latency %v", s.SignalingLatency)
+	}
+	if s.ExchangePeriod < 0 {
+		return fmt.Errorf("cellnet: negative exchange period %v", s.ExchangePeriod)
+	}
+	if s.Async() && s.ExchangePeriod > 0 && s.ExchangePeriod < s.SignalingLatency {
+		return fmt.Errorf("cellnet: exchange period %v shorter than signaling latency %v",
+			s.ExchangePeriod, s.SignalingLatency)
+	}
+	return nil
 }
 
 // FaultConfig parameterizes in-simulation signaling faults.
@@ -222,6 +293,31 @@ func (c Config) Validate() error {
 	if c.Backbone != nil && c.Backbone.Cells() < c.Topology.NumCells() {
 		return fmt.Errorf("cellnet: backbone maps %d cells, topology has %d",
 			c.Backbone.Cells(), c.Topology.NumCells())
+	}
+	if err := c.Sharding.Validate(); err != nil {
+		return err
+	}
+	if c.Sharding.NumShards() > c.Topology.NumCells() {
+		return fmt.Errorf("cellnet: %d shards for %d cells", c.Sharding.NumShards(), c.Topology.NumCells())
+	}
+	if c.Sharding.Async() {
+		// The asynchronous model owns every cross-cell interaction; the
+		// extensions below reach across cells synchronously (multi-hop
+		// pledges, dual-cell links, shared fault streams) or condition a
+		// departure record on a remote admission outcome, none of which
+		// survive a signaling delay.
+		switch {
+		case c.Backbone != nil:
+			return fmt.Errorf("cellnet: wired backbone unsupported with async sharding")
+		case c.Policy == core.MobSpec:
+			return fmt.Errorf("cellnet: MobSpec policy unsupported with async sharding")
+		case c.SoftHandOff.Enabled:
+			return fmt.Errorf("cellnet: soft hand-off unsupported with async sharding")
+		case c.Faults.Enabled:
+			return fmt.Errorf("cellnet: fault injection unsupported with async sharding")
+		case c.SkipDroppedDepartures:
+			return fmt.Errorf("cellnet: SkipDroppedDepartures unsupported with async sharding")
+		}
 	}
 	engCfg := c.engineConfig(0)
 	return engCfg.Validate()

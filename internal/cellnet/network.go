@@ -9,6 +9,7 @@ import (
 	"cellqos/internal/mobility"
 	"cellqos/internal/predict"
 	"cellqos/internal/sim"
+	"cellqos/internal/sim/shard"
 	"cellqos/internal/stats"
 	"cellqos/internal/topology"
 	"cellqos/internal/traffic"
@@ -31,6 +32,7 @@ type cell struct {
 	id       topology.CellID
 	engine   *core.Engine
 	peers    core.Peers
+	sched    sim.Scheduler // the cell's kernel shard (the whole kernel at 1 shard)
 	counters stats.Counters
 	hourly   stats.Hourly
 	brTW     stats.TimeWeighted
@@ -40,6 +42,13 @@ type cell struct {
 	// (each is one request/response round trip on the signaling network).
 	exchanges uint64
 	trace     *Trace
+
+	// Asynchronous-signaling state (Config.Sharding.Async); nil/zero in
+	// the classic synchronous modes.
+	rng     *rand.Rand    // per-cell stream: arrivals, class mix, lifetimes, retries
+	mirror  []mirrorEntry // last known neighbor state, by local index (entry 0 unused)
+	connSeq uint64        // per-cell connection counter (IDs: cell<<32 | seq)
+	msgSeq  uint64        // per-cell message counter (mailbox ordering keys)
 }
 
 // connection is the network-level state of one mobile's connection.
@@ -54,22 +63,39 @@ type connection struct {
 	wpath      wired.Path        // reserved backbone path (when a Backbone is configured)
 	pledges    []topology.CellID // cells holding a MobSpec pledge for this connection
 	min, max   int               // QoS range; rigid connections have min == max == bw
+	// rng is the connection's private stream (async sharding only): the
+	// mobility path draws per hop while the connection migrates across
+	// shards, so the draws must follow the connection, not a cell or the
+	// run. Nil in the classic synchronous modes, which share one stream.
+	rng *rand.Rand
 }
 
 // Network is a runnable cellular-network simulation.
 //
-// A Network is single-threaded and confined to one goroutine: engines,
-// counters, the event kernel and the RNG are all unsynchronized ("one
-// Network per goroutine"). Concurrent sweeps (internal/runner) build one
-// Network per scenario point from an independent Config; the only Config
-// field that cannot be shared between Networks is the mutable Backbone
-// pointer, which New claims via wired.Backbone.Attach.
+// In the classic synchronous modes a Network is single-threaded and
+// confined to one goroutine: engines, counters, the event kernel and the
+// RNG are all unsynchronized ("one Network per goroutine"). Concurrent
+// sweeps (internal/runner) build one Network per scenario point from an
+// independent Config; the only Config field that cannot be shared
+// between Networks is the mutable Backbone pointer, which New claims via
+// wired.Backbone.Attach.
+//
+// With Config.Sharding the cells are partitioned across the shards of an
+// internal/sim/shard kernel. At zero signaling latency the shards merge
+// serially — same semantics, same goldens. At positive latency the run
+// switches to the asynchronous signaling model (see network_async.go)
+// and the shards execute concurrently; each shard then only ever touches
+// the cells and connections it owns, and Run/RunUntil/Snapshot remain
+// single-goroutine entry points.
 type Network struct {
 	cfg    Config
-	sim    *sim.Simulator
-	rng    *rand.Rand
+	kernel sim.Kernel
+	shk    *shard.Kernel        // non-nil when Sharding selects the sharded kernel
+	part   *topology.Partition  // cell→shard ownership (nil with the single-heap kernel)
+	shards []*shardState        // async mode only: per-shard ownership tables
+	rng    *rand.Rand           // shared stream (nil in async mode)
 	cells  []*cell
-	conns  map[core.ConnID]*connection
+	conns  map[core.ConnID]*connection // synchronous modes only; async owns conns per shard
 	nextID core.ConnID
 
 	// Soft hand-off outcome counters (§7 CDMA extension).
@@ -85,7 +111,16 @@ type Network struct {
 	// auditTick counts auditNow passes; the expensive Eq. 5 cache
 	// re-derivation runs on a stride of it (see audit.go).
 	auditTick uint64
+
+	// barrierTick counts windowed-kernel barriers in the async model;
+	// the cross-shard audit samples on it (see network_async.go).
+	barrierTick uint64
 }
+
+// now returns the serial simulation clock. Valid in the synchronous
+// modes (single-heap or serial merge), where the kernel clock is the
+// current event time; async event code reads its shard clock instead.
+func (n *Network) now() float64 { return n.kernel.Now() }
 
 // New builds a network from a validated config.
 func New(cfg Config) (*Network, error) {
@@ -97,21 +132,46 @@ func New(cfg Config) (*Network, error) {
 			return nil, err
 		}
 	}
-	n := &Network{
-		cfg:   cfg,
-		sim:   sim.New(),
-		rng:   rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15)),
-		conns: make(map[core.ConnID]*connection),
+	n := &Network{cfg: cfg}
+	async := cfg.Sharding.Async()
+	if !async {
+		n.rng = rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15))
+		n.conns = make(map[core.ConnID]*connection)
 	}
 	if cfg.Faults.Enabled {
 		n.faultRng = rand.New(rand.NewPCG(cfg.Seed, 0xfa17_fa17_fa17_fa17))
+	}
+	// Pick the event kernel. One shard at zero latency keeps the classic
+	// single-heap Simulator; otherwise the cells are partitioned across a
+	// sharded kernel — merged serially at zero latency (same semantics),
+	// windowed in parallel under the async signaling model.
+	nshards := cfg.Sharding.NumShards()
+	var single *sim.Simulator
+	if nshards == 1 && !async {
+		single = sim.New()
+		n.kernel = single
+	} else {
+		n.part = topology.NewPartition(cfg.Topology, nshards)
+		n.shk = shard.New(shard.Config{Shards: nshards, Lookahead: cfg.Sharding.SignalingLatency})
+		n.kernel = n.shk
 	}
 	num := cfg.Topology.NumCells()
 	n.cells = make([]*cell, num)
 	for i := 0; i < num; i++ {
 		id := topology.CellID(i)
 		c := &cell{id: id, engine: core.NewEngine(cfg.engineConfig(id))}
-		c.peers = &memPeers{n: n, c: c}
+		if single != nil {
+			c.sched = single
+		} else {
+			c.sched = n.shk.Shard(n.part.ShardOf(id))
+		}
+		if async {
+			c.peers = &mirrorPeers{c: c}
+			c.rng = rand.New(rand.NewPCG(cfg.Seed, cellStream(id)))
+			c.mirror = make([]mirrorEntry, cfg.Topology.Degree(id)+1)
+		} else {
+			c.peers = &memPeers{n: n, c: c}
+		}
 		c.brTW.Set(0, c.engine.LastTargetReservation())
 		c.buTW.Set(0, 0)
 		n.cells[i] = c
@@ -123,6 +183,10 @@ func New(cfg Config) (*Network, error) {
 			Br:   stats.Series{MinGap: gap},
 			PHD:  stats.Series{MinGap: gap},
 		}
+	}
+	if async {
+		n.startAsync()
+		return n, nil
 	}
 	for _, c := range n.cells {
 		n.scheduleNextArrival(c)
@@ -136,8 +200,8 @@ func New(cfg Config) (*Network, error) {
 		// Invariant auditing at event boundaries: every event's state
 		// mutations are complete when the hook fires, so any ledger drift
 		// is pinned to the event that introduced it.
-		n.sim.AfterEvent(func() {
-			if cfg.Audit.Sample(n.sim.Fired()) {
+		n.kernel.AfterEvent(func() {
+			if cfg.Audit.Sample(n.kernel.Fired()) {
 				n.auditNow()
 			}
 		})
@@ -145,10 +209,12 @@ func New(cfg Config) (*Network, error) {
 	return n, nil
 }
 
-// scheduleSweep books a recurring estimation-cache eviction pass.
+// scheduleSweep books a recurring estimation-cache eviction pass. The
+// sweep touches every cell, which is only legal because the synchronous
+// modes execute serially; the async model schedules per-shard sweeps.
 func (n *Network) scheduleSweep(period float64) {
-	n.sim.MustAfter(period, func(*sim.Simulator) {
-		t := n.sim.Now()
+	n.cells[0].sched.MustAfter(period, func(sim.Scheduler) {
+		t := n.now()
 		for _, c := range n.cells {
 			c.engine.SweepHistory(t)
 		}
@@ -166,25 +232,35 @@ func MustNew(cfg Config) *Network {
 }
 
 // Now returns the simulation clock.
-func (n *Network) Now() float64 { return n.sim.Now() }
+func (n *Network) Now() float64 { return n.now() }
 
 // Engine exposes a cell's engine for tests and diagnostics.
 func (n *Network) Engine(id topology.CellID) *core.Engine { return n.cells[id].engine }
 
 // ActiveConnections returns the number of live connections system-wide.
-func (n *Network) ActiveConnections() int { return len(n.conns) }
+// In the async model this excludes hand-offs in flight between shards.
+func (n *Network) ActiveConnections() int {
+	if n.shards != nil {
+		total := 0
+		for _, st := range n.shards {
+			total += len(st.conns)
+		}
+		return total
+	}
+	return len(n.conns)
+}
 
 // EventsFired returns the number of simulation events executed.
-func (n *Network) EventsFired() uint64 { return n.sim.Fired() }
+func (n *Network) EventsFired() uint64 { return n.kernel.Fired() }
 
 // scheduleNextArrival books the cell's next Poisson new-connection
 // request from the schedule.
 func (n *Network) scheduleNextArrival(c *cell) {
-	at, ok := traffic.NextArrival(n.rng, n.cfg.Schedule, n.sim.Now())
+	at, ok := traffic.NextArrival(n.rng, n.cfg.Schedule, n.now())
 	if !ok {
 		return // no load ever again
 	}
-	if _, err := n.sim.At(at, func(*sim.Simulator) {
+	if _, err := c.sched.At(at, func(sim.Scheduler) {
 		class := n.cfg.Mix.Sample(n.rng)
 		min, max := class.Bandwidth, class.Bandwidth
 		if n.cfg.AdaptiveQoS.Enabled && class == traffic.Video {
@@ -202,7 +278,7 @@ func (n *Network) scheduleNextArrival(c *cell) {
 // this user (for the retry model). Admission — and reservation — is on
 // the minimum-QoS basis (§1).
 func (n *Network) request(c *cell, min, max, nRet int) {
-	now := n.sim.Now()
+	now := n.now()
 	d := c.engine.AdmitNew(now, min, c.peers)
 	c.counters.RecordAdmissionTest(d.BrCalcs)
 	admitted := d.Admitted
@@ -234,7 +310,7 @@ func (n *Network) request(c *cell, min, max, nRet int) {
 		return
 	}
 	if n.cfg.Retry.ShouldRetry(n.rng, nRet) {
-		n.sim.MustAfter(n.cfg.Retry.WaitSeconds, func(*sim.Simulator) {
+		c.sched.MustAfter(n.cfg.Retry.WaitSeconds, func(sim.Scheduler) {
 			n.request(c, min, max, nRet+1)
 		})
 	}
@@ -281,7 +357,7 @@ func (n *Network) releasePledges(conn *connection) {
 
 // establish creates an admitted connection in cell c.
 func (n *Network) establish(c *cell, min, max int, wpath wired.Path, pledges []topology.CellID) {
-	now := n.sim.Now()
+	now := n.now()
 	n.nextID++
 	conn := &connection{
 		id:         n.nextID,
@@ -326,7 +402,7 @@ func (n *Network) hintFor(cur topology.CellID, hop mobility.Hop, ok bool) topolo
 // the model's own configured range.
 func (n *Network) newPath(start topology.CellID) mobility.Path {
 	if sa, ok := n.cfg.Mobility.(mobility.SpeedAware); ok {
-		lo, hi := n.cfg.Schedule.Speed(n.sim.Now())
+		lo, hi := n.cfg.Schedule.Speed(n.now())
 		if hi > 0 {
 			return sa.NewPathWithSpeed(n.rng, start, mobility.SpeedRange{MinKmh: lo, MaxKmh: hi})
 		}
@@ -340,12 +416,13 @@ func (n *Network) newPath(start topology.CellID) mobility.Path {
 // end. The hop has already been drawn from the path (the engine may
 // have consumed it as a direction hint).
 func (n *Network) scheduleDeparture(conn *connection, hop mobility.Hop, ok bool) {
-	now := n.sim.Now()
+	now := n.now()
+	sched := n.cells[conn.cell].sched
 	if ok && !math.IsInf(hop.Sojourn, 1) && now+hop.Sojourn < conn.diesAt {
-		n.sim.MustAfter(hop.Sojourn, func(*sim.Simulator) { n.onCrossing(conn.id, hop) })
+		sched.MustAfter(hop.Sojourn, func(sim.Scheduler) { n.onCrossing(conn.id, hop) })
 		return
 	}
-	n.sim.MustAfter(conn.diesAt-now, func(*sim.Simulator) { n.onLifetimeEnd(conn.id) })
+	sched.MustAfter(conn.diesAt-now, func(sim.Scheduler) { n.onLifetimeEnd(conn.id) })
 }
 
 // onCrossing processes a mobile reaching its cell boundary.
@@ -354,7 +431,7 @@ func (n *Network) onCrossing(id core.ConnID, hop mobility.Hop) {
 	if !ok {
 		panic(fmt.Sprintf("cellnet: crossing for dead connection %d", id))
 	}
-	now := n.sim.Now()
+	now := n.now()
 	from := n.cells[conn.cell]
 	tSoj := now - conn.enteredAt
 
@@ -421,7 +498,7 @@ func (n *Network) onCrossing(id core.ConnID, hop mobility.Hop) {
 // controller, traces, and teardown on a drop. The connection is removed
 // from its old cell either way.
 func (n *Network) resolveHandOff(conn *connection, from, to *cell, admitted bool) {
-	now := n.sim.Now()
+	now := n.now()
 	to.counters.RecordHandOff(!admitted)
 	to.hourly.RecordHandOff(now, !admitted)
 	to.engine.NoteHandOffArrival(now, !admitted, to.peers)
@@ -450,7 +527,7 @@ func (n *Network) reclaim(c *cell, now float64) {
 // enterCell completes a successful hand-off: the connection joins the
 // new cell and its next departure is scheduled.
 func (n *Network) enterCell(conn *connection, from, to *cell) {
-	now := n.sim.Now()
+	now := n.now()
 	prevLocal, _ := n.cfg.Topology.LocalOf(to.id, from.id)
 	nextHop, okNext := conn.path.NextHop()
 	if conn.min == conn.max {
@@ -478,9 +555,9 @@ func (n *Network) enterCell(conn *connection, from, to *cell) {
 // hand-off. While pending, the connection keeps its old-cell bandwidth
 // (macrodiversity in the overlap region) and no other events exist for it.
 func (n *Network) scheduleSoftRetry(conn *connection, from, to *cell, deadline float64) {
-	now := n.sim.Now()
+	now := n.now()
 	next := math.Min(now+n.cfg.SoftHandOff.retryEvery(), deadline)
-	n.sim.MustAfter(next-now, func(*sim.Simulator) {
+	n.cells[conn.cell].sched.MustAfter(next-now, func(sim.Scheduler) {
 		n.onSoftRetry(conn.id, from, to, deadline)
 	})
 }
@@ -491,7 +568,7 @@ func (n *Network) onSoftRetry(id core.ConnID, from, to *cell, deadline float64) 
 	if !ok {
 		panic(fmt.Sprintf("cellnet: soft retry for dead connection %d", id))
 	}
-	now := n.sim.Now()
+	now := n.now()
 	if now >= conn.diesAt {
 		// The call ended naturally while in the overlap region, still
 		// served by the old cell.
@@ -539,7 +616,7 @@ func (n *Network) onLifetimeEnd(id core.ConnID) {
 	}
 	c := n.cells[conn.cell]
 	c.engine.RemoveConnection(id)
-	n.reclaim(c, n.sim.Now())
+	n.reclaim(c, n.now())
 	c.counters.Completed++
 	n.releaseWired(conn)
 	n.releasePledges(conn)

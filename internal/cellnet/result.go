@@ -76,13 +76,13 @@ func (n *Network) Run(end float64) *Result {
 // without building a Result. Slicing a run into several RunUntil calls
 // fires exactly the same events as one call with the final end time;
 // internal/runner uses this to check for cancellation between slices.
-func (n *Network) RunUntil(end float64) { n.sim.RunUntil(end) }
+func (n *Network) RunUntil(end float64) { n.kernel.RunUntil(end) }
 
 // ResetStats zeroes all counters, hourly buckets and time averages while
 // keeping connections, estimators and T_est state — used to discard a
 // warm-up period.
 func (n *Network) ResetStats() {
-	now := n.sim.Now()
+	now := n.now()
 	for _, c := range n.cells {
 		c.counters = stats.Counters{}
 		c.hourly = stats.Hourly{}
@@ -108,9 +108,13 @@ func (n *Network) ResetStats() {
 // Result is ever built from ledgers that would fail the audit.
 func (n *Network) Snapshot() *Result {
 	if n.cfg.Audit != nil {
-		n.auditNow()
+		if n.shards != nil {
+			n.auditAsyncNow(n.now())
+		} else {
+			n.auditNow()
+		}
 	}
-	now := n.sim.Now()
+	now := n.now()
 	res := &Result{
 		Duration: now,
 		Cells:    make([]CellResult, len(n.cells)),

@@ -1,0 +1,145 @@
+package cellnet
+
+import (
+	"reflect"
+	"testing"
+
+	"cellqos/internal/core"
+	"cellqos/internal/mobility"
+	"cellqos/internal/topology"
+)
+
+// shardedScenario is scenario() with the kernel sharded. latency == 0 is
+// the compat mode (serial merge, legacy RNG); latency > 0 the async
+// signaling model.
+func shardedScenario(policy core.Policy, shards int, latency float64, seed uint64) Config {
+	cfg := scenario(policy, 150, 0.8, mobility.HighMobility, seed)
+	cfg.Sharding = ShardingConfig{Shards: shards, SignalingLatency: latency, ExchangePeriod: 5}
+	return cfg
+}
+
+// stripTraces zeroes the map identity noise so Results compare with
+// reflect.DeepEqual (no traces are configured in these scenarios).
+func stripTraces(r *Result) *Result {
+	r.Traces = nil
+	return r
+}
+
+// TestCompatShardedMatchesSingleHeap: at zero signaling latency the
+// sharded kernel is a serial merge consuming the shared RNG in global
+// event order, so every statistic must match the single-heap reference
+// byte for byte at any shard count.
+func TestCompatShardedMatchesSingleHeap(t *testing.T) {
+	ref := stripTraces(MustNew(scenario(core.AC3, 150, 0.8, mobility.HighMobility, 7)).Run(1500))
+	for _, shards := range []int{2, 5, 10} {
+		got := stripTraces(MustNew(shardedScenario(core.AC3, shards, 0, 7)).Run(1500))
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("shards=%d diverged from single-heap reference:\n got %+v\nwant %+v", shards, got, ref)
+		}
+	}
+}
+
+// TestAsyncShardCountInvariance: under the async signaling model the
+// result is a function of the scenario, not of the partitioning — per
+// cell/connection RNG streams plus the keyed mailbox make every shard
+// count produce identical Results, including a repeat run at the same
+// shard count.
+func TestAsyncShardCountInvariance(t *testing.T) {
+	ref := stripTraces(MustNew(shardedScenario(core.AC3, 1, 0.5, 7)).Run(1500))
+	if ref.Total.Requested == 0 || ref.Total.HandOffs == 0 {
+		t.Fatalf("async reference run generated no traffic: %+v", ref.Total)
+	}
+	for _, shards := range []int{1, 2, 3, 5} {
+		got := stripTraces(MustNew(shardedScenario(core.AC3, shards, 0.5, 7)).Run(1500))
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("async shards=%d diverged from 1-shard async run:\n got %+v\nwant %+v", shards, got, ref)
+		}
+	}
+}
+
+// TestAsyncConservation: connections admitted equal connections
+// accounted for, modulo hand-offs still in flight between shards when
+// the run stops (the barrier audit checks the same law continuously).
+func TestAsyncConservation(t *testing.T) {
+	n := MustNew(shardedScenario(core.AC3, 3, 0.5, 2))
+	res := n.Run(2000)
+	admitted := res.Total.Requested - res.Total.Blocked
+	accounted := res.Total.Completed + res.Total.Dropped + res.Total.Exited + uint64(n.ActiveConnections())
+	var inFlight uint64
+	for _, st := range n.shards {
+		inFlight += st.sentHO - st.recvHO
+	}
+	if admitted != accounted+inFlight {
+		t.Fatalf("conservation violated: admitted %d, accounted %d, in flight %d", admitted, accounted, inFlight)
+	}
+	if res.Total.Exited != 0 {
+		t.Fatalf("ring run had %d coverage exits", res.Total.Exited)
+	}
+}
+
+// TestAsyncWarmupDegradation: before the first exchange replies land,
+// admission tests must fall back (neighbor state unknown) rather than
+// fail — the degradation counters record that window.
+func TestAsyncWarmupDegradation(t *testing.T) {
+	res := MustNew(shardedScenario(core.AC2, 2, 0.5, 3)).Run(1500)
+	if res.DegradedBrCalcs == 0 {
+		t.Fatal("async warmup produced no degraded B_r calculations; mirror should start cold")
+	}
+	if res.Total.BrCalcs == 0 {
+		t.Fatal("no B_r calculations at all")
+	}
+}
+
+// TestAsyncRejectsUnsupportedFeatures pins the Validate gate: models
+// that require synchronous cross-cell state cannot run under the async
+// plane.
+func TestAsyncRejectsUnsupportedFeatures(t *testing.T) {
+	base := func() Config { return shardedScenario(core.AC3, 2, 0.5, 1) }
+	mut := map[string]func(*Config){
+		"mobspec":   func(c *Config) { c.Policy = core.MobSpec },
+		"soft":      func(c *Config) { c.SoftHandOff.Enabled = true; c.SoftHandOff.OverlapSeconds = 1 },
+		"faults":    func(c *Config) { c.Faults.Enabled = true; c.Faults.Drop = 0.1 },
+		"skipdrops": func(c *Config) { c.SkipDroppedDepartures = true },
+	}
+	for name, m := range mut {
+		cfg := base()
+		m(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: async config unexpectedly validated", name)
+		}
+	}
+	// More shards than cells is invalid in any mode.
+	cfg := base()
+	cfg.Sharding.Shards = 11
+	if _, err := New(cfg); err == nil {
+		t.Error("11 shards on a 10-cell ring unexpectedly validated")
+	}
+	// Exchange period below the signaling latency cannot be serviced.
+	cfg = base()
+	cfg.Sharding.ExchangePeriod = 0.1
+	if _, err := New(cfg); err == nil {
+		t.Error("exchange period < latency unexpectedly validated")
+	}
+}
+
+// TestPartitionBoundaryRouting runs async on a wrapped hex grid so
+// hand-offs cross row-aligned shard boundaries in both directions.
+func TestPartitionBoundaryRouting(t *testing.T) {
+	top := topology.Hex(6, 6, true)
+	cfg := scenario(core.AC3, 150, 0.8, mobility.HighMobility, 5)
+	cfg.Topology = top
+	cfg.Mobility = &mobility.HexWalk{Top: top, DiameterKm: 1, Speed: mobility.HighMobility, Persistence: 0.8}
+	cfg.Sharding = ShardingConfig{Shards: 3, SignalingLatency: 0.5, ExchangePeriod: 5}
+	n := MustNew(cfg)
+	res := n.Run(1500)
+	if res.Total.HandOffs == 0 {
+		t.Fatal("no hand-offs on hex grid")
+	}
+	var crossed uint64
+	for _, st := range n.shards {
+		crossed += st.sentHO
+	}
+	if crossed == 0 {
+		t.Fatal("no hand-off messages crossed the mailbox")
+	}
+}

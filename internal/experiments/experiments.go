@@ -62,6 +62,11 @@ type Options struct {
 	// every scenario of every sweep (cellnet.Config.Audit). The checker
 	// is stateless, so sharing one across parallel workers is safe.
 	Audit *audit.Checker
+	// Shards, when > 1, runs every scenario that does not set its own
+	// sharding on a sharded kernel (cellnet.ShardingConfig.Shards) in
+	// the zero-latency compat mode. Like Parallel, it never changes
+	// results: Report.Bytes is byte-identical at any shard count.
+	Shards int
 }
 
 // withDefaults fills in zero fields.
@@ -147,6 +152,7 @@ func All() []Experiment {
 		{"ablation-nquad", "N_quad sensitivity ablation", AblationNQuad},
 		{"ablation-dropped", "Recording dropped hand-off departures", AblationDropped},
 		{"extension-faults", "Signaling faults and graceful degradation", ExtensionFaults},
+		{"metro-sharded", "Metro-scale sharded kernel, async signaling", MetroSharded},
 	}
 }
 
@@ -166,6 +172,13 @@ func runAll(opt Options, scens []runner.Scenario) ([]runner.PointResult, error) 
 	if opt.Audit != nil {
 		for i := range scens {
 			scens[i].Config.Audit = opt.Audit
+		}
+	}
+	if opt.Shards > 1 {
+		for i := range scens {
+			if scens[i].Config.Sharding.Shards == 0 {
+				scens[i].Config.Sharding.Shards = opt.Shards
+			}
 		}
 	}
 	r := &runner.Runner{Parallel: opt.Parallel, Sink: opt.Sink}

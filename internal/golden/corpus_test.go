@@ -1,6 +1,7 @@
 package golden
 
 import (
+	"fmt"
 	"testing"
 
 	"cellqos/internal/audit"
@@ -22,7 +23,7 @@ func corpusOpt() experiments.Options {
 	}
 }
 
-// TestGoldenCorpus regenerates all 20 experiments at the corpus scale —
+// TestGoldenCorpus regenerates all 21 experiments at the corpus scale —
 // with the invariant audit attached — and compares each Report.Bytes
 // against its stored golden file. Any PR that changes simulation
 // semantics, table formatting, or chart rendering fails here with the
@@ -32,8 +33,8 @@ func TestGoldenCorpus(t *testing.T) {
 		t.Skip("golden corpus regenerates every experiment")
 	}
 	all := experiments.All()
-	if len(all) != 20 {
-		t.Fatalf("experiment registry has %d entries, corpus expects 20 — extend the corpus deliberately", len(all))
+	if len(all) != 21 {
+		t.Fatalf("experiment registry has %d entries, corpus expects 21 — extend the corpus deliberately", len(all))
 	}
 	for _, e := range all {
 		e := e
@@ -43,6 +44,36 @@ func TestGoldenCorpus(t *testing.T) {
 				t.Fatal(err)
 			}
 			Check(t, e.ID, rep.Bytes())
+		})
+	}
+}
+
+// TestGoldenCorpusSharded re-runs the whole corpus on a sharded event
+// kernel (zero-latency compat mode) and compares against the same
+// golden files: partitioning the kernel must not move a single byte of
+// any Report at any shard count. Shards=1 is TestGoldenCorpus itself.
+func TestGoldenCorpusSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden corpus regenerates every experiment per shard count")
+	}
+	if Updating() {
+		t.Skip("golden files are written by TestGoldenCorpus")
+	}
+	for _, shards := range []int{2, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			for _, e := range experiments.All() {
+				e := e
+				t.Run(e.ID, func(t *testing.T) {
+					opt := corpusOpt()
+					opt.Shards = shards
+					rep, err := e.Run(opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					Check(t, e.ID, rep.Bytes())
+				})
+			}
 		})
 	}
 }

@@ -1,0 +1,433 @@
+// Package shard provides a multi-heap discrete-event kernel that
+// partitions a simulation into S shards, each with its own event queue,
+// clock, and sequence counter, behind the same sim.Kernel surface as the
+// single-heap sim.Simulator.
+//
+// Events are totally ordered by (time, shard, seq): time first, then the
+// owning shard's index, then the shard-local FIFO sequence number. The
+// kernel executes that order in one of two modes, chosen by Lookahead:
+//
+//   - Serial merge (Lookahead == 0). One goroutine repeatedly pops the
+//     globally minimal (time, shard, seq) event across all shard heaps.
+//     Events may use any shard's Scheduler, and the per-event AfterEvent
+//     hook is supported. This is the compatibility mode: with zero
+//     lookahead no shard may run ahead of another, so the merge degenerates
+//     to serial execution — deterministic, but no parallelism.
+//
+//   - Conservative windows (Lookahead L > 0). Virtual time is cut into
+//     windows of length L on a fixed grid. Within a window every shard
+//     runs its own events concurrently, one goroutine per shard; shards
+//     may only touch their own state and scheduler. Cross-shard effects
+//     travel as timestamped messages via Shard.Send, which must target a
+//     time at or beyond the window end — the conservative guarantee that
+//     no shard ever receives an event earlier than a time it has already
+//     passed. Outboxes are merged at the window barrier in (time, key)
+//     order, with a caller-supplied key that must not depend on the shard
+//     count, making delivery order — and hence the whole run — identical
+//     at any shard count and any goroutine interleaving.
+//
+// The model layer (internal/cellnet) guarantees byte-identical Reports
+// across shard counts by (a) giving every cell and connection its own
+// deterministic RNG stream, (b) routing all cross-cell interaction
+// through Send keyed by (source cell, per-cell sequence), and (c)
+// ensuring same-time events on different shards touch disjoint state.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cellqos/internal/sim"
+)
+
+// Config parameterizes a sharded kernel.
+type Config struct {
+	// Shards is the number of event heaps (≥ 1).
+	Shards int
+	// Lookahead is the conservative window length in seconds. Zero
+	// selects serial merged execution; positive values select windowed
+	// parallel execution and must be a lower bound on the model's
+	// cross-shard signaling latency.
+	Lookahead float64
+}
+
+// message is a cross-shard event in flight between Send and delivery.
+type message struct {
+	at  float64
+	key uint64
+	fn  sim.Event
+}
+
+// Shard is one partition's scheduling surface. It implements
+// sim.Scheduler; event callbacks running on the shard receive it as
+// their Scheduler argument. Outside a window (before Run, between
+// RunUntil calls, or in serial mode) any shard may be used from the
+// coordinating goroutine; during a parallel window a Shard must only be
+// used by events executing on it.
+type Shard struct {
+	k      *Kernel
+	idx    int
+	now    float64
+	queue  *sim.EventQueue
+	fired  uint64
+	outbox []outMsg // windowed mode: sends buffered until the barrier
+}
+
+type outMsg struct {
+	dst int
+	m   message
+}
+
+// Kernel is a sharded discrete-event kernel. It implements sim.Kernel.
+// The coordinating goroutine owns Run/RunUntil; per-shard goroutines
+// exist only inside a window.
+type Kernel struct {
+	cfg       Config
+	shards    []*Shard
+	barrier   float64 // clock of the coordinating goroutine
+	running   bool
+	stopped   atomic.Bool
+	afterEv   func()
+	atBarrier func(now float64)
+}
+
+var _ sim.Kernel = (*Kernel)(nil)
+var _ sim.Scheduler = (*Shard)(nil)
+
+// New returns a sharded kernel with all clocks at 0.
+func New(cfg Config) *Kernel {
+	if cfg.Shards < 1 {
+		panic("shard: need at least one shard")
+	}
+	if cfg.Lookahead < 0 || math.IsNaN(cfg.Lookahead) {
+		panic("shard: negative lookahead")
+	}
+	k := &Kernel{cfg: cfg, shards: make([]*Shard, cfg.Shards)}
+	for i := range k.shards {
+		k.shards[i] = &Shard{k: k, idx: i, queue: sim.NewEventQueue()}
+	}
+	return k
+}
+
+// NumShards returns the configured shard count.
+func (k *Kernel) NumShards() int { return k.cfg.Shards }
+
+// Lookahead returns the conservative window length (0 = serial mode).
+func (k *Kernel) Lookahead() float64 { return k.cfg.Lookahead }
+
+// Shard returns shard i's scheduling surface.
+func (k *Kernel) Shard(i int) *Shard { return k.shards[i] }
+
+// Now returns the coordinating clock: the last window barrier in
+// windowed mode, the merged event clock in serial mode.
+func (k *Kernel) Now() float64 { return k.barrier }
+
+// Fired returns the total number of events executed across all shards.
+// It must not be called from inside a parallel window.
+func (k *Kernel) Fired() uint64 {
+	var n uint64
+	for _, sh := range k.shards {
+		n += sh.fired
+	}
+	return n
+}
+
+// Pending returns scheduled, not-yet-fired, not-canceled events across
+// all shards. It must not be called from inside a parallel window.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, sh := range k.shards {
+		n += sh.queue.Len()
+	}
+	return n
+}
+
+// CanceledRetained sums the canceled-but-queued events across shards;
+// Run/RunUntil compact it to zero at teardown.
+func (k *Kernel) CanceledRetained() int {
+	n := 0
+	for _, sh := range k.shards {
+		n += sh.queue.CanceledRetained()
+	}
+	return n
+}
+
+// AfterEvent registers a per-event hook. Only the serial merge supports
+// it; in windowed mode events fire concurrently and there is no global
+// event boundary, so this panics — use AtBarrier instead.
+func (k *Kernel) AfterEvent(fn func()) {
+	if k.cfg.Lookahead > 0 && fn != nil {
+		panic("shard: AfterEvent unsupported in windowed mode; use AtBarrier")
+	}
+	k.afterEv = fn
+}
+
+// AtBarrier registers fn to run on the coordinating goroutine at every
+// window barrier, after the window's events have executed and its
+// cross-shard messages have been delivered to the target queues (but not
+// executed). All shard state is quiescent during the call; conservation
+// audits hang here.
+func (k *Kernel) AtBarrier(fn func(now float64)) { k.atBarrier = fn }
+
+// Stop requests the run loop to halt: immediately after the current
+// event in serial mode, at the next window barrier in windowed mode.
+func (k *Kernel) Stop() { k.stopped.Store(true) }
+
+// Run fires events until every shard's queue drains or Stop is called.
+func (k *Kernel) Run() float64 { return k.run(math.Inf(1), false) }
+
+// RunUntil fires events with timestamps ≤ end, then sets all clocks to
+// end. Repeated calls with increasing end values resume on the same
+// window grid, so a run chunked into many RunUntil calls delivers
+// messages at the same barriers as a single call.
+func (k *Kernel) RunUntil(end float64) float64 { return k.run(end, true) }
+
+func (k *Kernel) run(end float64, bounded bool) float64 {
+	if k.running {
+		panic("shard: nested Run")
+	}
+	if bounded && end < k.barrier {
+		return k.barrier
+	}
+	k.running = true
+	defer func() {
+		k.running = false
+		for _, sh := range k.shards {
+			sh.queue.Compact()
+		}
+	}()
+	k.stopped.Store(false)
+	if k.cfg.Lookahead == 0 {
+		return k.runSerial(end, bounded)
+	}
+	return k.runWindowed(end, bounded)
+}
+
+// runSerial executes the global (time, shard, seq) order one event at a
+// time on the coordinating goroutine.
+func (k *Kernel) runSerial(end float64, bounded bool) float64 {
+	for !k.stopped.Load() {
+		best := -1
+		var bestAt float64
+		for i, sh := range k.shards {
+			at, _, ok := sh.queue.PeekTime()
+			if !ok {
+				continue
+			}
+			// Total order (time, shard, seq): strictly earlier time
+			// wins; at equal times the lower shard index wins (strict
+			// <, first hit sticks); seq orders events within a shard,
+			// which the per-shard heap already guarantees.
+			if best == -1 || at < bestAt {
+				best, bestAt = i, at
+			}
+		}
+		if best == -1 || (bounded && bestAt > end) {
+			break
+		}
+		sh := k.shards[best]
+		at, _, fn, _ := sh.queue.Pop()
+		if at < sh.now {
+			panic("shard: time went backwards")
+		}
+		// Advance every shard clock together: serial mode has a single
+		// merged clock, and an event may schedule onto any shard.
+		k.barrier = at
+		for _, s := range k.shards {
+			s.now = at
+		}
+		sh.fired++
+		fn(sh)
+		if k.afterEv != nil {
+			k.afterEv()
+		}
+	}
+	if !k.stopped.Load() && bounded && k.barrier < end {
+		k.barrier = end
+		for _, sh := range k.shards {
+			sh.now = end
+		}
+	}
+	return k.barrier
+}
+
+// runWindowed executes fixed-grid conservative windows, one goroutine
+// per shard inside each window.
+func (k *Kernel) runWindowed(end float64, bounded bool) float64 {
+	L := k.cfg.Lookahead
+	for !k.stopped.Load() {
+		if bounded && k.barrier >= end {
+			break
+		}
+		if !bounded && k.Pending() == 0 {
+			break
+		}
+		// Next grid point strictly after the current barrier. The grid
+		// is anchored at 0 and independent of RunUntil chunking, so
+		// k*L barriers line up across differently-chunked runs.
+		windowEnd := (math.Floor(k.barrier/L) + 1) * L
+		if windowEnd <= k.barrier {
+			// Guard against float rounding at huge times.
+			windowEnd = k.barrier + L
+		}
+		if bounded && windowEnd > end {
+			windowEnd = end
+		}
+		k.runWindow(windowEnd)
+		k.barrier = windowEnd
+		k.deliver(windowEnd)
+		if k.atBarrier != nil {
+			k.atBarrier(windowEnd)
+		}
+	}
+	if !k.stopped.Load() && bounded && k.barrier < end {
+		k.barrier = end
+		for _, sh := range k.shards {
+			sh.now = end
+		}
+	}
+	return k.barrier
+}
+
+// runWindow runs every shard's events with timestamps ≤ windowEnd, in
+// parallel when there is more than one shard.
+func (k *Kernel) runWindow(windowEnd float64) {
+	if len(k.shards) == 1 {
+		k.shards[0].runTo(windowEnd)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, sh := range k.shards {
+		wg.Add(1)
+		go func(sh *Shard) {
+			defer wg.Done()
+			sh.runTo(windowEnd)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// deliver merges all shard outboxes and schedules the messages on their
+// destination queues in (time, key) order — an order independent of both
+// goroutine interleaving (outboxes are only read after the window joins)
+// and shard count (keys must not encode shard identity).
+func (k *Kernel) deliver(windowEnd float64) {
+	var all []outMsg
+	for _, sh := range k.shards {
+		all = append(all, sh.outbox...)
+		sh.outbox = sh.outbox[:0]
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].m.at != all[j].m.at {
+			return all[i].m.at < all[j].m.at
+		}
+		return all[i].m.key < all[j].m.key
+	})
+	for _, om := range all {
+		k.shards[om.dst].queue.Schedule(om.m.at, om.m.fn)
+	}
+}
+
+// runTo fires this shard's events with timestamps ≤ end and leaves the
+// shard clock at end.
+func (sh *Shard) runTo(end float64) {
+	for !sh.k.stopped.Load() {
+		at, _, ok := sh.queue.PeekTime()
+		if !ok || at > end {
+			break
+		}
+		at, _, fn, _ := sh.queue.Pop()
+		if at < sh.now {
+			panic("shard: time went backwards")
+		}
+		sh.now = at
+		sh.fired++
+		fn(sh)
+	}
+	if sh.now < end {
+		sh.now = end
+	}
+}
+
+// Index returns the shard's index in the kernel.
+func (sh *Shard) Index() int { return sh.idx }
+
+// Now returns the shard's clock.
+func (sh *Shard) Now() float64 { return sh.now }
+
+// At schedules fn on this shard at absolute time t.
+func (sh *Shard) At(t float64, fn sim.Event) (sim.Handle, error) {
+	if t < sh.now {
+		return sim.Handle{}, fmt.Errorf("%w: t=%v now=%v", sim.ErrPastEvent, t, sh.now)
+	}
+	return sim.NewHandle(sh.queue.Schedule(t, fn)), nil
+}
+
+// After schedules fn on this shard d seconds from now.
+func (sh *Shard) After(d float64, fn sim.Event) (sim.Handle, error) {
+	return sh.At(sh.now+d, fn)
+}
+
+// MustAfter is After for delays known to be non-negative.
+func (sh *Shard) MustAfter(d float64, fn sim.Event) sim.Handle {
+	h, err := sh.After(d, fn)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Cancel prevents one of this shard's scheduled events from firing, in
+// O(1). Handles from other shards are not valid here.
+func (sh *Shard) Cancel(h sim.Handle) bool {
+	if !h.Valid() {
+		return false
+	}
+	return sh.queue.Cancel(h.Seq())
+}
+
+// Stop requests the kernel to halt (see Kernel.Stop).
+func (sh *Shard) Stop() { sh.k.Stop() }
+
+// Send books fn on shard dst at time at. In windowed mode the message is
+// buffered and delivered at the current window's barrier; at must lie at
+// or beyond the window end (uniform-latency models satisfy this by
+// construction: a message sent at t ≥ windowStart with latency ≥
+// lookahead arrives at t+latency ≥ windowEnd). key orders same-time
+// deliveries and must be unique per (at, dst) and independent of the
+// shard count — internal/cellnet packs (source cell ID, per-cell message
+// sequence). In serial mode the message is scheduled immediately.
+//
+// Send is the only legal way for one shard's event to affect another
+// shard.
+func (sh *Shard) Send(dst int, at float64, key uint64, fn sim.Event) {
+	if dst < 0 || dst >= len(sh.k.shards) {
+		panic(fmt.Sprintf("shard: Send to shard %d of %d", dst, len(sh.k.shards)))
+	}
+	if math.IsNaN(at) {
+		panic("shard: NaN message time")
+	}
+	if sh.k.cfg.Lookahead == 0 {
+		if at < sh.now {
+			panic(fmt.Sprintf("shard: Send into the past: at=%v now=%v", at, sh.now))
+		}
+		sh.k.shards[dst].queue.Schedule(at, fn)
+		return
+	}
+	// The conservative guarantee: the destination may already have
+	// executed up to the current window's end, so the message must not
+	// land before it. sh.now ≤ windowEnd during a window, and the
+	// window end is the next grid point after the window started; a
+	// message time ≥ now + lookahead always clears it.
+	windowEnd := (math.Floor(sh.k.barrier/sh.k.cfg.Lookahead) + 1) * sh.k.cfg.Lookahead
+	if at < windowEnd && at < sh.k.barrier+sh.k.cfg.Lookahead {
+		panic(fmt.Sprintf("shard: Send violates lookahead: at=%v windowEnd=%v", at, windowEnd))
+	}
+	sh.outbox = append(sh.outbox, outMsg{dst: dst, m: message{at: at, key: key, fn: fn}})
+}

@@ -1,0 +1,283 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"cellqos/internal/sim"
+)
+
+// TestTieBreakTimeShardSeq pins the kernel's total order at identical
+// timestamps: shard index first, then per-shard FIFO seq — regardless of
+// the interleaving of the scheduling calls.
+func TestTieBreakTimeShardSeq(t *testing.T) {
+	k := New(Config{Shards: 3})
+	var got []string
+	// Schedule in an order deliberately scrambled across shards: the
+	// j-th event booked on shard s is tagged "s/j".
+	order := []int{2, 0, 1, 1, 2, 0, 0, 2, 1}
+	count := map[int]int{}
+	for _, s := range order {
+		s, j := s, count[s]
+		count[s]++
+		k.Shard(s).MustAfter(7, func(sim.Scheduler) {
+			got = append(got, fmt.Sprintf("%d/%d", s, j))
+		})
+	}
+	// A strictly earlier event on the highest shard must still fire first.
+	k.Shard(2).MustAfter(1, func(sim.Scheduler) {
+		got = append(got, "early")
+	})
+	k.Run()
+	want := []string{"early", "0/0", "0/1", "0/2", "1/0", "1/1", "1/2", "2/0", "2/1", "2/2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("(time, shard, seq) order violated:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestSerialMatchesSimulatorSingleShard(t *testing.T) {
+	// A 1-shard serial kernel must reproduce the reference Simulator's
+	// firing order exactly for a random workload.
+	rng := rand.New(rand.NewPCG(42, 7))
+	type ev struct{ at float64 }
+	var evs []ev
+	for i := 0; i < 500; i++ {
+		evs = append(evs, ev{at: rng.Float64() * 100})
+	}
+	run := func(s sim.Scheduler, runner func() float64) []float64 {
+		var fired []float64
+		for _, e := range evs {
+			s.MustAfter(e.at, func(s sim.Scheduler) { fired = append(fired, s.Now()) })
+		}
+		runner()
+		return fired
+	}
+	ref := sim.New()
+	want := run(ref, ref.Run)
+	k := New(Config{Shards: 1})
+	got := run(k.Shard(0), k.Run)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("1-shard serial kernel diverged from Simulator")
+	}
+}
+
+func TestSerialCrossShardScheduling(t *testing.T) {
+	k := New(Config{Shards: 2})
+	var got []string
+	k.Shard(0).MustAfter(1, func(s sim.Scheduler) {
+		got = append(got, "a@0")
+		// Serial mode allows scheduling onto another shard directly.
+		k.Shard(1).MustAfter(1, func(s sim.Scheduler) {
+			got = append(got, "b@1")
+		})
+	})
+	end := k.Run()
+	if want := []string{"a@0", "b@1"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if end != 2 {
+		t.Fatalf("final clock %v, want 2", end)
+	}
+}
+
+func TestSerialRunUntilSemantics(t *testing.T) {
+	k := New(Config{Shards: 2})
+	var fired []float64
+	for i, at := range []float64{1, 2, 3, 4, 5} {
+		k.Shard(i%2).MustAfter(at, func(s sim.Scheduler) { fired = append(fired, s.Now()) })
+	}
+	if end := k.RunUntil(3); end != 3 {
+		t.Fatalf("RunUntil returned %v, want 3", end)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if k.Now() != 3 || k.Shard(0).Now() != 3 || k.Shard(1).Now() != 3 {
+		t.Fatal("clocks not advanced to end")
+	}
+	k.Run()
+	if len(fired) != 5 {
+		t.Fatalf("remaining events lost: %v", fired)
+	}
+}
+
+func TestWindowedSendDeliversAtBarrier(t *testing.T) {
+	k := New(Config{Shards: 2, Lookahead: 1})
+	var mu sync.Mutex
+	var got []string
+	rec := func(tag string) {
+		mu.Lock()
+		got = append(got, tag)
+		mu.Unlock()
+	}
+	k.Shard(0).MustAfter(0.25, func(s sim.Scheduler) {
+		rec("send@0.25")
+		s.(*Shard).Send(1, 1.25, 1, func(sim.Scheduler) { rec("recv@1.25") })
+	})
+	k.Shard(1).MustAfter(0.5, func(sim.Scheduler) { rec("other@0.5") })
+	k.RunUntil(3)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 || got[2] != "recv@1.25" {
+		t.Fatalf("message not delivered in second window: %v", got)
+	}
+}
+
+func TestWindowedLookaheadViolationPanics(t *testing.T) {
+	k := New(Config{Shards: 2, Lookahead: 1})
+	k.Shard(0).MustAfter(0.5, func(s sim.Scheduler) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Send below the lookahead window did not panic")
+			}
+		}()
+		// Window is [0,1]; a message for t=0.75 would arrive in the
+		// receiver's past.
+		s.(*Shard).Send(1, 0.75, 1, func(sim.Scheduler) {})
+	})
+	k.RunUntil(2)
+}
+
+func TestWindowedSameTimeMessagesOrderedByKey(t *testing.T) {
+	// Two shards send same-time messages to shard 0; delivery (and
+	// hence firing) order must follow the caller-supplied keys, not the
+	// shard indices or goroutine timing.
+	for trial := 0; trial < 20; trial++ {
+		k := New(Config{Shards: 3, Lookahead: 1})
+		var mu sync.Mutex
+		var got []uint64
+		for src := 1; src <= 2; src++ {
+			src := src
+			key := uint64(3 - src) // shard 1 sends key 2, shard 2 sends key 1
+			k.Shard(src).MustAfter(0.5, func(s sim.Scheduler) {
+				s.(*Shard).Send(0, 2.0, key, func(sim.Scheduler) {
+					mu.Lock()
+					got = append(got, key)
+					mu.Unlock()
+				})
+			})
+		}
+		k.RunUntil(3)
+		mu.Lock()
+		ok := reflect.DeepEqual(got, []uint64{1, 2})
+		mu.Unlock()
+		if !ok {
+			t.Fatalf("trial %d: same-time messages fired as %v, want key order [1 2]", trial, got)
+		}
+	}
+}
+
+func TestWindowedChunkedRunMatchesSingleRun(t *testing.T) {
+	// The window grid is anchored at 0, so chunked RunUntil calls and a
+	// single call produce the same barriers and the same firing order.
+	build := func() (*Kernel, *[]float64, *sync.Mutex) {
+		k := New(Config{Shards: 2, Lookahead: 0.5})
+		var mu sync.Mutex
+		fired := &[]float64{}
+		rng := rand.New(rand.NewPCG(9, 9))
+		for i := 0; i < 200; i++ {
+			at := rng.Float64() * 20
+			sh := i % 2
+			k.Shard(sh).MustAfter(at, func(s sim.Scheduler) {
+				mu.Lock()
+				*fired = append(*fired, s.Now())
+				mu.Unlock()
+			})
+		}
+		return k, fired, &mu
+	}
+	k1, f1, _ := build()
+	k1.RunUntil(20)
+	k2, f2, _ := build()
+	for end := 1.3; end < 20; end += 1.3 {
+		k2.RunUntil(end)
+	}
+	k2.RunUntil(20)
+	sort.Float64s(*f1)
+	sort.Float64s(*f2)
+	if !reflect.DeepEqual(*f1, *f2) {
+		t.Fatal("chunked RunUntil diverged from single RunUntil")
+	}
+}
+
+func TestAtBarrierQuiescentAndOrdered(t *testing.T) {
+	k := New(Config{Shards: 2, Lookahead: 1})
+	var barriers []float64
+	k.AtBarrier(func(now float64) {
+		barriers = append(barriers, now)
+		// Quiescent: coordinator may inspect all shards here.
+		_ = k.Pending()
+		_ = k.Fired()
+	})
+	k.Shard(0).MustAfter(2.5, func(sim.Scheduler) {})
+	k.RunUntil(3)
+	want := []float64{1, 2, 3}
+	if !reflect.DeepEqual(barriers, want) {
+		t.Fatalf("barriers %v, want %v", barriers, want)
+	}
+}
+
+func TestAfterEventPanicsInWindowedMode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AfterEvent in windowed mode did not panic")
+		}
+	}()
+	New(Config{Shards: 2, Lookahead: 1}).AfterEvent(func() {})
+}
+
+func TestAfterEventSerialMode(t *testing.T) {
+	k := New(Config{Shards: 2})
+	events, hooks := 0, 0
+	k.AfterEvent(func() { hooks++ })
+	for i := 0; i < 5; i++ {
+		k.Shard(i%2).MustAfter(float64(i+1), func(sim.Scheduler) { events++ })
+	}
+	k.Run()
+	if events != 5 || hooks != 5 {
+		t.Fatalf("events=%d hooks=%d, want 5/5", events, hooks)
+	}
+}
+
+func TestCancelAndTeardownCompaction(t *testing.T) {
+	k := New(Config{Shards: 2})
+	fired := false
+	h := k.Shard(1).MustAfter(50, func(sim.Scheduler) { fired = true })
+	if !k.Shard(1).Cancel(h) {
+		t.Fatal("Cancel returned false")
+	}
+	k.Shard(0).MustAfter(1, func(sim.Scheduler) {})
+	k.RunUntil(2)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if got := k.CanceledRetained(); got != 0 {
+		t.Fatalf("CanceledRetained() = %d after teardown, want 0", got)
+	}
+}
+
+func TestStopWindowedAtBarrier(t *testing.T) {
+	k := New(Config{Shards: 2, Lookahead: 1})
+	var mu sync.Mutex
+	count := 0
+	for i := 0; i < 10; i++ {
+		k.Shard(i%2).MustAfter(float64(i)+0.5, func(s sim.Scheduler) {
+			mu.Lock()
+			count++
+			mu.Unlock()
+			if i == 2 {
+				s.Stop()
+			}
+		})
+	}
+	k.RunUntil(100)
+	mu.Lock()
+	defer mu.Unlock()
+	if count >= 10 {
+		t.Fatal("Stop did not halt the windowed run")
+	}
+}

@@ -5,18 +5,20 @@
 // scheduling order (FIFO), which keeps runs fully deterministic for a
 // fixed random seed. The kernel knows nothing about cellular networks:
 // higher layers (internal/cellnet, internal/traffic) schedule closures.
+//
+// Simulator is the single-heap reference kernel; internal/sim/shard
+// provides a multi-heap kernel behind the same Kernel/Scheduler
+// interfaces for sharded metro-scale runs.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
-	"math"
 )
 
 // Event is a callback fired at a virtual time. The callback receives the
-// simulator so it can schedule follow-up events.
-type Event func(s *Simulator)
+// scheduler that is executing it so it can book follow-up events.
+type Event func(s Scheduler)
 
 // Handle identifies a scheduled event so it can be canceled. The zero
 // Handle is invalid.
@@ -27,44 +29,11 @@ type Handle struct {
 // Valid reports whether h refers to an event that was actually scheduled.
 func (h Handle) Valid() bool { return h.seq != 0 }
 
-type item struct {
-	at       float64
-	seq      uint64
-	fn       Event
-	canceled bool
-}
-
-type eventQueue []*item
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*item)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
-}
-
 // Simulator is a discrete-event simulation driver. It is not safe for
 // concurrent use; all events run on the caller's goroutine.
 type Simulator struct {
 	now        float64
-	seq        uint64
-	queue      eventQueue
-	canceled   map[uint64]*item
+	queue      *EventQueue
 	fired      uint64
 	running    bool
 	stopped    bool
@@ -73,17 +42,22 @@ type Simulator struct {
 
 // New returns an empty simulator with the clock at time 0.
 func New() *Simulator {
-	return &Simulator{canceled: make(map[uint64]*item)}
+	return &Simulator{queue: NewEventQueue()}
 }
 
 // Now returns the current virtual time in seconds.
 func (s *Simulator) Now() float64 { return s.now }
 
 // Pending returns the number of scheduled, not-yet-fired, not-canceled events.
-func (s *Simulator) Pending() int { return len(s.queue) - len(s.canceled) }
+func (s *Simulator) Pending() int { return s.queue.Len() }
 
 // Fired returns the total number of events executed so far.
 func (s *Simulator) Fired() uint64 { return s.fired }
+
+// CanceledRetained returns the number of canceled events still occupying
+// queue memory; Run and RunUntil compact this to zero at teardown. It
+// exists for leak regression tests.
+func (s *Simulator) CanceledRetained() int { return s.queue.CanceledRetained() }
 
 // ErrPastEvent is returned by At when an event is scheduled before Now.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
@@ -92,16 +66,10 @@ var ErrPastEvent = errors.New("sim: event scheduled in the past")
 // returns ErrPastEvent if t precedes the current clock; t == Now is
 // allowed (the event fires after already-queued events at the same time).
 func (s *Simulator) At(t float64, fn Event) (Handle, error) {
-	if math.IsNaN(t) {
-		panic("sim: NaN event time")
-	}
 	if t < s.now {
 		return Handle{}, fmt.Errorf("%w: t=%v now=%v", ErrPastEvent, t, s.now)
 	}
-	s.seq++
-	it := &item{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.queue, it)
-	return Handle{seq: s.seq}, nil
+	return Handle{seq: s.queue.Schedule(t, fn)}, nil
 }
 
 // After schedules fn to run d seconds from now. Negative d is an error.
@@ -118,24 +86,14 @@ func (s *Simulator) MustAfter(d float64, fn Event) Handle {
 	return h
 }
 
-// Cancel prevents a scheduled event from firing. It reports whether the
-// event was still pending. Canceling an already-fired, already-canceled,
-// or invalid handle returns false.
+// Cancel prevents a scheduled event from firing in O(1). It reports
+// whether the event was still pending. Canceling an already-fired,
+// already-canceled, or invalid handle returns false.
 func (s *Simulator) Cancel(h Handle) bool {
 	if !h.Valid() {
 		return false
 	}
-	for _, it := range s.queue {
-		if it.seq == h.seq {
-			if it.canceled {
-				return false
-			}
-			it.canceled = true
-			s.canceled[h.seq] = it
-			return true
-		}
-	}
-	return false
+	return s.queue.Cancel(h.seq)
 }
 
 // Stop aborts the run loop after the current event returns. It may be
@@ -152,34 +110,32 @@ func (s *Simulator) AfterEvent(fn func()) { s.afterEvent = fn }
 // step fires the earliest pending event. It reports false when the queue
 // is empty.
 func (s *Simulator) step() bool {
-	for len(s.queue) > 0 {
-		it := heap.Pop(&s.queue).(*item)
-		if it.canceled {
-			delete(s.canceled, it.seq)
-			continue
-		}
-		if it.at < s.now {
-			panic("sim: time went backwards")
-		}
-		s.now = it.at
-		s.fired++
-		it.fn(s)
-		if s.afterEvent != nil {
-			s.afterEvent()
-		}
-		return true
+	at, _, fn, ok := s.queue.Pop()
+	if !ok {
+		return false
 	}
-	return false
+	if at < s.now {
+		panic("sim: time went backwards")
+	}
+	s.now = at
+	s.fired++
+	fn(s)
+	if s.afterEvent != nil {
+		s.afterEvent()
+	}
+	return true
 }
 
 // Run fires events until the queue drains or Stop is called. It returns
-// the final clock value.
+// the final clock value. Canceled-but-unfired events are compacted away
+// at teardown so a stopped run does not retain their memory.
 func (s *Simulator) Run() float64 {
 	if s.running {
 		panic("sim: nested Run")
 	}
 	s.running = true
 	defer func() { s.running = false }()
+	defer s.queue.Compact()
 	s.stopped = false
 	for !s.stopped && s.step() {
 	}
@@ -187,7 +143,8 @@ func (s *Simulator) Run() float64 {
 }
 
 // RunUntil fires events with timestamps ≤ end, then sets the clock to end
-// and returns. Events scheduled after end remain queued.
+// and returns. Events scheduled after end remain queued; canceled events
+// are compacted away at teardown.
 func (s *Simulator) RunUntil(end float64) float64 {
 	if s.running {
 		panic("sim: nested Run")
@@ -197,9 +154,10 @@ func (s *Simulator) RunUntil(end float64) float64 {
 	}
 	s.running = true
 	defer func() { s.running = false }()
+	defer s.queue.Compact()
 	s.stopped = false
 	for !s.stopped {
-		next, ok := s.peek()
+		next, _, ok := s.queue.PeekTime()
 		if !ok || next > end {
 			break
 		}
@@ -211,19 +169,9 @@ func (s *Simulator) RunUntil(end float64) float64 {
 	return s.now
 }
 
-// peek returns the timestamp of the earliest pending event.
-func (s *Simulator) peek() (float64, bool) {
-	for len(s.queue) > 0 {
-		if s.queue[0].canceled {
-			it := heap.Pop(&s.queue).(*item)
-			delete(s.canceled, it.seq)
-			continue
-		}
-		return s.queue[0].at, true
-	}
-	return 0, false
-}
-
 // NextEventTime exposes the timestamp of the earliest pending event, for
 // tests and pacing logic. ok is false when nothing is queued.
-func (s *Simulator) NextEventTime() (t float64, ok bool) { return s.peek() }
+func (s *Simulator) NextEventTime() (t float64, ok bool) {
+	t, _, ok = s.queue.PeekTime()
+	return t, ok
+}

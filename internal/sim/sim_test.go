@@ -22,7 +22,7 @@ func TestEventsFireInTimeOrder(t *testing.T) {
 	var got []float64
 	for _, at := range []float64{5, 1, 3, 2, 4} {
 		at := at
-		if _, err := s.At(at, func(s *Simulator) { got = append(got, s.Now()) }); err != nil {
+		if _, err := s.At(at, func(s Scheduler) { got = append(got, s.Now()) }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -40,7 +40,7 @@ func TestTiesFireInSchedulingOrder(t *testing.T) {
 	var got []int
 	for i := 0; i < 10; i++ {
 		i := i
-		s.MustAfter(7, func(*Simulator) { got = append(got, i) })
+		s.MustAfter(7, func(Scheduler) { got = append(got, i) })
 	}
 	s.Run()
 	for i, v := range got {
@@ -52,9 +52,9 @@ func TestTiesFireInSchedulingOrder(t *testing.T) {
 
 func TestPastEventRejected(t *testing.T) {
 	s := New()
-	s.MustAfter(10, func(*Simulator) {})
+	s.MustAfter(10, func(Scheduler) {})
 	s.Run()
-	if _, err := s.At(5, func(*Simulator) {}); err == nil {
+	if _, err := s.At(5, func(Scheduler) {}); err == nil {
 		t.Fatal("scheduling in the past succeeded, want error")
 	}
 }
@@ -62,8 +62,8 @@ func TestPastEventRejected(t *testing.T) {
 func TestSameTimeEventAllowed(t *testing.T) {
 	s := New()
 	fired := false
-	s.MustAfter(10, func(s *Simulator) {
-		if _, err := s.At(s.Now(), func(*Simulator) { fired = true }); err != nil {
+	s.MustAfter(10, func(s Scheduler) {
+		if _, err := s.At(s.Now(), func(Scheduler) { fired = true }); err != nil {
 			t.Errorf("At(Now) failed: %v", err)
 		}
 	})
@@ -75,9 +75,9 @@ func TestSameTimeEventAllowed(t *testing.T) {
 
 func TestNegativeAfterRejected(t *testing.T) {
 	s := New()
-	s.MustAfter(1, func(*Simulator) {})
+	s.MustAfter(1, func(Scheduler) {})
 	s.Run()
-	if _, err := s.After(-0.5, func(*Simulator) {}); err == nil {
+	if _, err := s.After(-0.5, func(Scheduler) {}); err == nil {
 		t.Fatal("After(-0.5) succeeded, want error")
 	}
 }
@@ -88,7 +88,7 @@ func TestNaNPanics(t *testing.T) {
 			t.Fatal("At(NaN) did not panic")
 		}
 	}()
-	New().At(nan(), func(*Simulator) {})
+	New().At(nan(), func(Scheduler) {})
 }
 
 func nan() float64 { z := 0.0; return z / z }
@@ -96,7 +96,7 @@ func nan() float64 { z := 0.0; return z / z }
 func TestCancel(t *testing.T) {
 	s := New()
 	fired := false
-	h := s.MustAfter(1, func(*Simulator) { fired = true })
+	h := s.MustAfter(1, func(Scheduler) { fired = true })
 	if !s.Cancel(h) {
 		t.Fatal("Cancel returned false for pending event")
 	}
@@ -118,7 +118,7 @@ func TestCancelInvalidHandle(t *testing.T) {
 
 func TestCancelFiredEvent(t *testing.T) {
 	s := New()
-	h := s.MustAfter(1, func(*Simulator) {})
+	h := s.MustAfter(1, func(Scheduler) {})
 	s.Run()
 	if s.Cancel(h) {
 		t.Fatal("Cancel of already-fired event returned true")
@@ -129,8 +129,8 @@ func TestCancelFromWithinEvent(t *testing.T) {
 	s := New()
 	fired := false
 	var h Handle
-	h = s.MustAfter(2, func(*Simulator) { fired = true })
-	s.MustAfter(1, func(s *Simulator) { s.Cancel(h) })
+	h = s.MustAfter(2, func(Scheduler) { fired = true })
+	s.MustAfter(1, func(s Scheduler) { s.Cancel(h) })
 	s.Run()
 	if fired {
 		t.Fatal("event canceled mid-run still fired")
@@ -144,7 +144,7 @@ func TestStop(t *testing.T) {
 	s := New()
 	var count int
 	for i := 1; i <= 10; i++ {
-		s.MustAfter(float64(i), func(s *Simulator) {
+		s.MustAfter(float64(i), func(s Scheduler) {
 			count++
 			if count == 3 {
 				s.Stop()
@@ -164,7 +164,7 @@ func TestRunResumesAfterStop(t *testing.T) {
 	s := New()
 	var count int
 	for i := 1; i <= 4; i++ {
-		s.MustAfter(float64(i), func(s *Simulator) {
+		s.MustAfter(float64(i), func(s Scheduler) {
 			count++
 			if count == 2 {
 				s.Stop()
@@ -182,7 +182,7 @@ func TestRunUntil(t *testing.T) {
 	s := New()
 	var got []float64
 	for _, at := range []float64{1, 2, 3, 4, 5} {
-		s.MustAfter(at, func(s *Simulator) { got = append(got, s.Now()) })
+		s.MustAfter(at, func(s Scheduler) { got = append(got, s.Now()) })
 	}
 	end := s.RunUntil(3)
 	if end != 3 {
@@ -219,8 +219,8 @@ func TestRunUntilBeforeNowIsNoop(t *testing.T) {
 func TestEventsCanScheduleEvents(t *testing.T) {
 	s := New()
 	depth := 0
-	var recurse func(*Simulator)
-	recurse = func(s *Simulator) {
+	var recurse func(Scheduler)
+	recurse = func(s Scheduler) {
 		depth++
 		if depth < 100 {
 			s.MustAfter(1, recurse)
@@ -239,9 +239,9 @@ func TestEventsCanScheduleEvents(t *testing.T) {
 func TestFiredCounter(t *testing.T) {
 	s := New()
 	for i := 0; i < 5; i++ {
-		s.MustAfter(float64(i), func(*Simulator) {})
+		s.MustAfter(float64(i), func(Scheduler) {})
 	}
-	h := s.MustAfter(10, func(*Simulator) {})
+	h := s.MustAfter(10, func(Scheduler) {})
 	s.Cancel(h)
 	s.Run()
 	if s.Fired() != 5 {
@@ -254,8 +254,8 @@ func TestNextEventTime(t *testing.T) {
 	if _, ok := s.NextEventTime(); ok {
 		t.Fatal("NextEventTime ok on empty queue")
 	}
-	h := s.MustAfter(3, func(*Simulator) {})
-	s.MustAfter(5, func(*Simulator) {})
+	h := s.MustAfter(3, func(Scheduler) {})
+	s.MustAfter(5, func(Scheduler) {})
 	if at, ok := s.NextEventTime(); !ok || at != 3 {
 		t.Fatalf("NextEventTime = %v,%v want 3,true", at, ok)
 	}
@@ -276,7 +276,7 @@ func TestPropertyFiringOrder(t *testing.T) {
 		var fireTimes []float64
 		for _, r := range raw {
 			at := float64(r) / 16
-			s.MustAfter(at, func(s *Simulator) { fireTimes = append(fireTimes, s.Now()) })
+			s.MustAfter(at, func(s Scheduler) { fireTimes = append(fireTimes, s.Now()) })
 		}
 		s.Run()
 		if len(fireTimes) != len(raw) {
@@ -308,7 +308,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 		handles := make([]Handle, len(delays))
 		for i, d := range delays {
 			i := i
-			handles[i] = s.MustAfter(float64(d), func(*Simulator) { fired[i] = true })
+			handles[i] = s.MustAfter(float64(d), func(Scheduler) { fired[i] = true })
 		}
 		want := make(map[int]bool)
 		for i := range delays {
@@ -350,8 +350,102 @@ func BenchmarkScheduleAndFire(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := New()
 		for _, d := range delays {
-			s.MustAfter(d, func(*Simulator) {})
+			s.MustAfter(d, func(Scheduler) {})
 		}
 		s.Run()
+	}
+}
+
+// Regression: canceled events whose timestamps were never reached used to
+// be retained forever (the old canceled-map only shrank on pop). Run and
+// RunUntil now compact them away at teardown.
+func TestCanceledEventsReleasedAtRunUntilTeardown(t *testing.T) {
+	s := New()
+	for i := 0; i < 1000; i++ {
+		h := s.MustAfter(100+float64(i), func(Scheduler) { t.Error("canceled event fired") })
+		s.Cancel(h)
+	}
+	s.MustAfter(1, func(Scheduler) {})
+	s.RunUntil(50) // ends long before any canceled timestamp
+	if got := s.CanceledRetained(); got != 0 {
+		t.Fatalf("CanceledRetained() = %d after RunUntil teardown, want 0", got)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d, want 0", got)
+	}
+}
+
+func TestCanceledEventsReleasedAfterStop(t *testing.T) {
+	s := New()
+	for i := 0; i < 100; i++ {
+		h := s.MustAfter(10+float64(i), func(Scheduler) { t.Error("canceled event fired") })
+		s.Cancel(h)
+	}
+	s.MustAfter(1, func(s Scheduler) { s.Stop() })
+	s.Run()
+	if got := s.CanceledRetained(); got != 0 {
+		t.Fatalf("CanceledRetained() = %d after stopped Run, want 0", got)
+	}
+}
+
+func TestCancelAfterCompactionReturnsFalse(t *testing.T) {
+	s := New()
+	h := s.MustAfter(100, func(Scheduler) {})
+	s.Cancel(h)
+	s.RunUntil(1) // compacts the canceled item away
+	if s.Cancel(h) {
+		t.Fatal("Cancel of compacted event returned true")
+	}
+}
+
+func TestEventQueueCompactKeepsOrder(t *testing.T) {
+	q := NewEventQueue()
+	var keep []uint64
+	for i := 0; i < 50; i++ {
+		seq := q.Schedule(float64((i*37)%50), func(Scheduler) {})
+		if i%3 == 0 {
+			q.Cancel(seq)
+		} else {
+			keep = append(keep, seq)
+		}
+	}
+	q.Compact()
+	if q.CanceledRetained() != 0 {
+		t.Fatalf("CanceledRetained() = %d after Compact, want 0", q.CanceledRetained())
+	}
+	if q.Len() != len(keep) {
+		t.Fatalf("Len() = %d, want %d", q.Len(), len(keep))
+	}
+	last := -1.0
+	n := 0
+	for {
+		at, _, _, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if at < last {
+			t.Fatalf("Compact broke heap order: %v after %v", at, last)
+		}
+		last = at
+		n++
+	}
+	if n != len(keep) {
+		t.Fatalf("popped %d events after Compact, want %d", n, len(keep))
+	}
+}
+
+// Cancel must be O(1): a linear scan (the old implementation) makes this
+// benchmark quadratic in queue size and shows up immediately in ns/op.
+func BenchmarkCancel(b *testing.B) {
+	s := New()
+	handles := make([]Handle, b.N)
+	for i := range handles {
+		handles[i] = s.MustAfter(float64(i%1024)+1, func(Scheduler) {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Cancel(handles[i]) {
+			b.Fatal("cancel failed")
+		}
 	}
 }

@@ -1,0 +1,123 @@
+package topology
+
+import "testing"
+
+func checkPartitionInvariants(t *testing.T, p *Partition) {
+	t.Helper()
+	top := p.Topology()
+	n := top.NumCells()
+	seen := make([]int, n)
+	total := 0
+	for s := 0; s < p.NumShards(); s++ {
+		cells := p.Cells(s)
+		if len(cells) == 0 {
+			t.Fatalf("shard %d owns no cells", s)
+		}
+		lo, hi := p.Range(s)
+		if int(hi-lo) != len(cells) {
+			t.Fatalf("shard %d: Range [%d,%d) disagrees with %d cells", s, lo, hi, len(cells))
+		}
+		for _, c := range cells {
+			seen[c]++
+			total++
+			if got := p.ShardOf(c); got != s {
+				t.Fatalf("ShardOf(%d) = %d, want %d", c, got, s)
+			}
+		}
+	}
+	if total != n {
+		t.Fatalf("partition covers %d cells, want %d", total, n)
+	}
+	for c, k := range seen {
+		if k != 1 {
+			t.Fatalf("cell %d owned by %d shards", c, k)
+		}
+	}
+}
+
+func TestPartitionRing(t *testing.T) {
+	top := Ring(10)
+	for _, shards := range []int{1, 2, 3, 8, 10} {
+		p := NewPartition(top, shards)
+		checkPartitionInvariants(t, p)
+	}
+}
+
+func TestPartitionHexRowAligned(t *testing.T) {
+	top := Hex(12, 7, true)
+	for _, shards := range []int{1, 2, 3, 4, 8, 12} {
+		p := NewPartition(top, shards)
+		checkPartitionInvariants(t, p)
+		for s := 0; s < shards; s++ {
+			lo, hi := p.Range(s)
+			if int(lo)%7 != 0 || int(hi)%7 != 0 {
+				t.Fatalf("shards=%d shard %d range [%d,%d) not row-aligned (cols=7)", shards, s, lo, hi)
+			}
+		}
+	}
+}
+
+func TestPartitionHexMoreShardsThanRows(t *testing.T) {
+	// 3 rows but 5 shards: row rounding impossible, falls back to plain
+	// contiguous ID ranges, which must still cover every cell.
+	p := NewPartition(Hex(3, 4, true), 5)
+	checkPartitionInvariants(t, p)
+}
+
+func TestPartitionBoundaryCellsHexBand(t *testing.T) {
+	top := Hex(9, 5, true)
+	p := NewPartition(top, 3)
+	for s := 0; s < 3; s++ {
+		bc := p.BoundaryCells(s)
+		// Each band is 3 rows of 5 cells; exactly the first and last
+		// row of the band touch other shards (wrapped grid).
+		if len(bc) != 10 {
+			t.Fatalf("shard %d: %d boundary cells, want 10 (first+last row)", s, len(bc))
+		}
+		for _, c := range bc {
+			if !p.IsBoundary(c) {
+				t.Fatalf("BoundaryCells returned non-boundary cell %d", c)
+			}
+			found := false
+			for _, nb := range top.Neighbors(c) {
+				if p.ShardOf(nb) != s {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("cell %d has no cross-shard neighbor", c)
+			}
+		}
+	}
+	// Middle row of each band must be interior.
+	if p.IsBoundary(CellID(1*5 + 2)) {
+		t.Fatal("middle-row cell reported as boundary")
+	}
+}
+
+func TestPartitionSingleShardHasNoBoundary(t *testing.T) {
+	p := NewPartition(Hex(6, 6, true), 1)
+	for c := CellID(0); int(c) < 36; c++ {
+		if p.IsBoundary(c) {
+			t.Fatalf("cell %d boundary in single-shard partition", c)
+		}
+	}
+	if bc := p.BoundaryCells(0); len(bc) != 0 {
+		t.Fatalf("BoundaryCells(0) = %v, want empty", bc)
+	}
+}
+
+func TestPartitionRejectsBadShardCounts(t *testing.T) {
+	top := Ring(5)
+	for _, shards := range []int{0, -1, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPartition(ring5, %d) did not panic", shards)
+				}
+			}()
+			NewPartition(top, shards)
+		}()
+	}
+}
