@@ -39,14 +39,19 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 )
 
-// result is one parsed benchmark line.
+// result is one parsed benchmark line. P99NsPerOp carries the custom
+// "p99-ns/op" metric the admission benchmark reports (zero when the
+// benchmark doesn't emit it); like ns/op it is machine-dependent, so it
+// is only gated under -check-time.
 type result struct {
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	P99NsPerOp  float64 `json:"p99_ns_per_op,omitempty"`
 }
 
 // report is the serialized artifact.
@@ -109,6 +114,9 @@ func check(rep report, maxRegression float64, checkTime bool) error {
 		if checkTime && worse(cur.NsPerOp, base.NsPerOp) {
 			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f", name, cur.NsPerOp, base.NsPerOp))
 		}
+		if checkTime && worse(cur.P99NsPerOp, base.P99NsPerOp) {
+			bad = append(bad, fmt.Sprintf("%s: %.0f p99-ns/op vs baseline %.0f", name, cur.P99NsPerOp, base.P99NsPerOp))
+		}
 	}
 	if len(bad) > 0 {
 		return fmt.Errorf("regression beyond %.0f%%:\n  %s", maxRegression*100, joinLines(bad))
@@ -153,12 +161,18 @@ func joinLines(lines []string) string {
 	return out
 }
 
-// benchLine matches the go-test benchmark output format; the trailing
-// -N GOMAXPROCS suffix is stripped from the name so results stay
-// comparable across machines.
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+// gomaxprocsSuffix is the trailing -N the test runner appends to
+// benchmark names; it is stripped so results stay comparable across
+// machines.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
+// parse reads go-test benchmark lines generically: the name, the
+// iteration count, then any number of (value, unit) pairs. Custom
+// metrics reported via b.ReportMetric (the admission benchmark's
+// "p99-ns/op") appear between ns/op and B/op in the runner's output, so
+// a positional regex would silently drop the allocation columns —
+// exactly the numbers -check gates — the moment a benchmark grows a
+// custom metric. Unknown units are ignored, not errors.
 func parse(r io.Reader) (map[string]result, []string, error) {
 	results := map[string]result{}
 	var raw []string
@@ -166,20 +180,32 @@ func parse(r io.Reader) (map[string]result, []string, error) {
 	for sc.Scan() {
 		line := sc.Text()
 		raw = append(raw, line)
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		f := strings.Fields(line)
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
 			continue
 		}
-		var res result
-		res.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-		res.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			res.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
 		}
-		if m[5] != "" {
-			res.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		res := result{Iterations: iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			switch f[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			case "p99-ns/op":
+				res.P99NsPerOp = v
+			}
 		}
-		results[m[1]] = res
+		results[gomaxprocsSuffix.ReplaceAllString(f[0], "")] = res
 	}
 	return results, raw, sc.Err()
 }

@@ -36,16 +36,25 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // derivedMethods produce generation-scoped values.
+// AppendSojournBreakpoints feeds the materialized Eq. 5 view's
+// staleness guards (DESIGN.md §14): the breakpoint tables it returns
+// are a pure function of the current selection and die with it.
 var derivedMethods = map[string]bool{
 	"SurvivorWeight": true, "HandOffWeight": true, "HandOffProb": true,
 	"HandOffProbsInto": true, "VisitHandOffProbs": true, "SojournProb": true,
 	"AppendSelected": true, "Selected": true, "SelectedCount": true,
-	"MaxSojourn": true,
+	"MaxSojourn": true, "AppendSojournBreakpoints": true,
 }
 
-// mutatorMethods bump the generation epoch.
+// mutatorMethods bump the generation epoch. EnsureCurrent belongs here
+// even though it exists to *pin* the epoch: forcing every lazy
+// selection current at a timestamp performs exactly the rebuilds that
+// would otherwise fire mid-query, so any value derived before the call
+// may be dead after it — the returned generation is for comparing
+// against a recorded epoch, not a license to keep older state.
 var mutatorMethods = map[string]bool{
 	"Record": true, "ReadFrom": true, "SweepAt": true, "EvictBefore": true,
+	"EnsureCurrent": true,
 }
 
 // estimatorReceiver reports whether the method's receiver is an

@@ -143,23 +143,29 @@ func (c *Checker) Engine(cell string, now float64, l core.Ledger) {
 // deliberately, not for rounding noise.
 const Eq5Tolerance = 1e-9
 
-// Eq5Cache verifies one engine's incremental Eq. 5 reservation cache
-// against the retained from-scratch computation. A divergence means the
-// fast path is answering neighbors with numbers the paper's Eq. 5 does
-// not produce, corrupting every downstream B_r and admission decision.
-// Only a cache keyed at the current timestamp is re-derived (see
-// core.VerifyEq5CacheAt): that is the state the event being audited
-// actually consumed, and it keeps the sweep from dragging the
-// estimator indexes backward in time.
+// Eq5Cache verifies one engine's materialized Eq. 5 reservation view
+// against the retained from-scratch computation: every finished
+// per-direction sum is re-derived via eq5Scratch, every materialized
+// per-connection term against a fresh Eq. 4 evaluation, and every
+// connection's incremental staleness guard is re-checked (an expired
+// guard the advance failed to refresh reports as an infinite
+// divergence). A divergence means the fast path is answering neighbors
+// with numbers the paper's Eq. 5 does not produce, corrupting every
+// downstream B_r and admission decision. Only a view keyed at the
+// current timestamp is re-derived (see core.VerifyEq5CacheAt): that is
+// the state the event being audited actually consumed, and it keeps
+// the sweep from dragging the estimator indexes backward in time.
 func (c *Checker) Eq5Cache(cell string, now float64, e *core.Engine) {
 	diff, checked := e.VerifyEq5CacheAt(now)
 	if !checked || diff <= Eq5Tolerance {
 		return
 	}
 	hits, misses := e.Eq5CacheStats()
+	rebuilds, advances, refreshes := e.Eq5ViewStats()
 	c.Failf("eq5-incremental", cell, now,
-		fmt.Sprintf("maxDiff=%v hits=%d misses=%d", diff, hits, misses),
-		"cached Eq. 5 sum diverges from the from-scratch walk by %v (tolerance %v)",
+		fmt.Sprintf("maxDiff=%v hits=%d misses=%d rebuilds=%d advances=%d refreshes=%d",
+			diff, hits, misses, rebuilds, advances, refreshes),
+		"materialized Eq. 5 view diverges from the from-scratch walk by %v (tolerance %v)",
 		diff, Eq5Tolerance)
 }
 

@@ -108,6 +108,14 @@ type Network struct {
 	faultRng   *rand.Rand
 	peerFaults uint64
 
+	// specCache memoizes the MobSpec within-horizon cell set per start
+	// cell (specOK marks computed entries — an empty spec is a valid
+	// result). Topology and horizon are immutable for the life of a
+	// Network, so the BFS runs once per cell per run and an admission
+	// burst walks precomputed specs, paying only the pledge calls.
+	specCache [][]topology.CellID
+	specOK    []bool
+
 	// auditTick counts auditNow passes; the expensive Eq. 5 cache
 	// re-derivation runs on a stride of it (see audit.go).
 	auditTick uint64
@@ -317,13 +325,11 @@ func (n *Network) request(c *cell, min, max, nRet int) {
 }
 
 // pledgeSpec reserves bw in every cell within the MobSpec horizon of
-// start, rolling back on the first refusal.
+// start, rolling back on the first refusal. The spec itself comes from
+// the per-cell cache (mobSpec), so a burst of admissions in one cell
+// repeats only the pledge calls, not the topology BFS.
 func (n *Network) pledgeSpec(start topology.CellID, bw int) ([]topology.CellID, bool) {
-	h := n.cfg.MobSpecHorizon
-	if h <= 0 {
-		h = 2
-	}
-	spec := n.cfg.Topology.WithinHops(start, h)
+	spec := n.mobSpec(start)
 	for i, id := range spec {
 		if !n.cells[id].engine.Pledge(bw) {
 			for _, back := range spec[:i] {
@@ -332,7 +338,30 @@ func (n *Network) pledgeSpec(start topology.CellID, bw int) ([]topology.CellID, 
 			return nil, false
 		}
 	}
-	return spec, true
+	if len(spec) == 0 {
+		return nil, true
+	}
+	// The pledge list is per-connection mutable state (dropPledge and
+	// hand-off re-pledges edit it in place): hand out a copy, never the
+	// cached spec.
+	return append([]topology.CellID(nil), spec...), true
+}
+
+// mobSpec returns the memoized within-horizon cell set for start.
+func (n *Network) mobSpec(start topology.CellID) []topology.CellID {
+	if n.specCache == nil {
+		n.specCache = make([][]topology.CellID, len(n.cells))
+		n.specOK = make([]bool, len(n.cells))
+	}
+	if !n.specOK[start] {
+		h := n.cfg.MobSpecHorizon
+		if h <= 0 {
+			h = 2
+		}
+		n.specCache[start] = n.cfg.Topology.WithinHops(start, h)
+		n.specOK[start] = true
+	}
+	return n.specCache[start]
 }
 
 // dropPledge releases the connection's pledge at one cell, if any.

@@ -377,13 +377,32 @@ func (n *Network) scheduleExchange(st *shardState, period float64) {
 	})
 }
 
-// exchangeCell sends one query per neighbor of c. The neighbor answers
-// with its Eq. 5 contribution toward c (evaluated with c's T_est as of
-// the query) and its snapshot state; the reply lands in c's mirror two
-// latencies after now.
+// exchangeCell queries every neighbor of c for the round. The neighbor
+// answers with its Eq. 5 contribution toward c (evaluated with c's
+// T_est as of the query) and its snapshot state; the reply lands in c's
+// mirror two latencies after now.
+//
+// The round's queries are batched into one mailbox message per
+// destination shard instead of one per neighbor: the per-neighbor
+// onPeerQuery calls touch disjoint neighbor state and previously
+// executed back-to-back anyway (consecutive per-cell keys at one
+// timestamp), so executing them in local-index order inside a single
+// delivery preserves the exact event order while cutting mailbox
+// traffic per exchange round from degree messages to the number of
+// neighboring shards. Exchange accounting stays per query — Exchanges
+// counts information exchanges, not transport messages.
 func (n *Network) exchangeCell(c *cell, now float64) {
 	test := c.engine.Test()
 	deg := n.cfg.Topology.Degree(c.id)
+	type query struct {
+		li   topology.LocalIndex
+		nbID topology.CellID
+	}
+	type bundle struct {
+		shard   int
+		queries []query
+	}
+	var bundles []bundle
 	for i := 1; i <= deg; i++ {
 		li := topology.LocalIndex(i)
 		nbID, ok := n.cfg.Topology.FromLocal(c.id, li)
@@ -391,9 +410,26 @@ func (n *Network) exchangeCell(c *cell, now float64) {
 			panic(fmt.Sprintf("cellnet: bad local index %d for cell %d", li, c.id))
 		}
 		c.exchanges++
-		srcID := c.id
-		n.send(c, nbID, func(sim.Scheduler) {
-			n.onPeerQuery(srcID, nbID, li, test)
+		s := n.part.ShardOf(nbID)
+		found := false
+		for bi := range bundles {
+			if bundles[bi].shard == s {
+				bundles[bi].queries = append(bundles[bi].queries, query{li, nbID})
+				found = true
+				break
+			}
+		}
+		if !found {
+			bundles = append(bundles, bundle{shard: s, queries: []query{{li, nbID}}})
+		}
+	}
+	srcID := c.id
+	for _, b := range bundles {
+		qs := b.queries
+		n.send(c, qs[0].nbID, func(sim.Scheduler) {
+			for _, q := range qs {
+				n.onPeerQuery(srcID, q.nbID, q.li, test)
+			}
 		})
 	}
 }

@@ -1,7 +1,9 @@
 package core_test
 
 import (
+	"slices"
 	"testing"
+	"time"
 
 	"cellqos/internal/core"
 	"cellqos/internal/predict"
@@ -124,6 +126,15 @@ func newBenchCluster(pol core.Policy, connsPerCell int) *benchCluster {
 // the cells; admitted connections are registered and the per-cell
 // population is held steady by retiring the oldest benchmark-added
 // connection once four are live.
+//
+// Besides the standard mean ns/op it reports the per-operation p99 as a
+// custom "p99-ns/op" metric: the materialized Eq. 5 view makes the mean
+// nearly meaningless on its own, because most operations are pure
+// incremental advances and the tail is where rebuilds and
+// breakpoint-refresh storms would hide. The per-op wall-clock sampling
+// is diagnostics around the measured region, preallocated so it adds no
+// allocations to the steady state. cmd/benchjson gates the metric with
+// the other time-based numbers under -check-time.
 func benchmarkAdmitNew(b *testing.B, connsPerCell int) {
 	cl := newBenchCluster(core.AC1, connsPerCell)
 	now := benchStart
@@ -132,11 +143,13 @@ func benchmarkAdmitNew(b *testing.B, connsPerCell int) {
 	for c := range live {
 		live[c] = make([]core.ConnID, 0, 8)
 	}
+	durs := make([]time.Duration, 0, b.N)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cell := i % benchCells
 		e := cl.engines[cell]
+		opStart := time.Now()
 		d := e.AdmitNew(now, 1, cl.peers[cell])
 		if d.Admitted {
 			if len(live[cell]) == 4 {
@@ -148,10 +161,15 @@ func benchmarkAdmitNew(b *testing.B, connsPerCell int) {
 			live[cell] = append(live[cell], nextID)
 			nextID++
 		}
+		durs = append(durs, time.Since(opStart))
 		if (i+1)%benchBurst == 0 {
 			now += 0.25
 		}
 	}
+	b.StopTimer()
+	slices.Sort(durs)
+	p99 := durs[len(durs)*99/100] // len·99/100 < len for every len ≥ 1
+	b.ReportMetric(float64(p99.Nanoseconds()), "p99-ns/op")
 }
 
 func BenchmarkAdmitNew(b *testing.B) {

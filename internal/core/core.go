@@ -590,10 +590,12 @@ func (e *Engine) RemoveConnection(id ConnID) {
 	}
 	e.conns = e.conns[:last]
 	delete(e.index, id)
-	// Removal reorders the table (swap-remove), and subtracting the
-	// term back out of a float sum would not reproduce a from-scratch
-	// walk bit-for-bit: drop any live Eq. 5 cache.
-	e.eq5.invalidate()
+	// Mirror the swap-removal in the materialized Eq. 5 view: the
+	// per-connection state moves with the table and only the direction
+	// sums are re-accumulated (in the new table order, as a
+	// from-scratch walk now would — a float sum cannot be patched by
+	// subtraction).
+	e.eq5Remove(i, last)
 }
 
 // Connection returns a connection's bandwidth, origin and entry time.
@@ -672,13 +674,15 @@ func (e *Engine) NoteHandOffArrival(now float64, dropped bool, peers Peers) {
 // this cell's hand-off estimation functions and each connection's extant
 // sojourn time.
 //
-// Results are memoized per (now, test, estimator generation): repeated
-// queries at one key — the admission-burst pattern, where every
-// requesting neighbor asks at the same timestamp — share one set of
-// per-connection Eq. 4 denominators and reuse finished per-direction
-// sums, allocation-free and bit-identical to a from-scratch walk. A key
-// seen once pays a single fused build-and-accumulate pass, so one-shot
-// queries cost one table walk like the plain walk does.
+// Results come from the materialized Eq. 5 view (eq5cache.go): the
+// per-connection Eq. 4 base state is maintained across events and
+// timestamps advance incrementally — only connections whose extant
+// sojourn crossed a selected-sojourn breakpoint are refreshed — so a
+// steady admission burst answers in O(live connections) guard checks
+// instead of re-walking every Eq. 4 query, allocation-free and
+// bit-identical to a from-scratch walk. A changed window, estimator, or
+// estimator generation forces a full rebuild; a cold direction pays one
+// term-materialization pass.
 func (e *Engine) OutgoingReservation(now float64, toward topology.LocalIndex, test float64) float64 {
 	if e.cfg.Policy == ExpDwell {
 		// Analytical model: P(hand-off within test) = 1 − e^(−test/τ),
@@ -698,13 +702,13 @@ func (e *Engine) OutgoingReservation(now float64, toward topology.LocalIndex, te
 	defer e.unlock()
 	est := e.patterns.Estimator(now)
 	c := &e.eq5
-	if !c.matches(now, test, est) {
-		// Fresh key: build the base state and this direction's sum in a
-		// single fused walk, so a key queried once costs one pass over
-		// the table — the same as the from-scratch walk — not a base
-		// pass plus an accumulation pass.
+	if !e.eq5Current(now, test, est) {
+		// No live view for this window/estimator/generation: build it
+		// from scratch, answering this direction in the same fused
+		// walk, so a key queried once costs one pass over the table —
+		// the same as the from-scratch walk.
 		c.misses++
-		return e.eq5BuildAccumulate(now, test, est, toward)
+		return e.eq5Rebuild(now, test, est, toward)
 	}
 	t := int(toward)
 	if t >= 1 && t < len(c.done) && c.done[t] {

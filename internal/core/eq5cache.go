@@ -7,28 +7,44 @@ import (
 	"cellqos/internal/topology"
 )
 
-// eq5Cache memoizes the Eq. 5 state of one engine for a single query
-// key (now, test, estimator, estimator generation). The admission fast
-// path hits the same key repeatedly — every neighbor a burst of
-// admissions fans out to asks this engine at the same timestamp and
-// window — so the expensive per-connection Eq. 4 denominators are built
-// once and each direction's sum is accumulated lazily on first request.
+// eq5Cache maintains the Eq. 5 state of one engine as a materialized
+// view: per-connection base state (extant sojourn, Eq. 4 denominator or
+// hinted sojourn probability), per-direction term columns, and
+// per-direction sums, updated by deltas as events arrive instead of
+// recomputed per query. The admission fast path advances `now` on every
+// burst, so the PR-4 memo cache — keyed on an exact (now, test,
+// generation) triple — paid a full connection-table walk per burst; the
+// view instead *advances* across timestamps in O(live connections)
+// guard checks and refreshes only the connections whose Eq. 4 queries
+// actually change value.
 //
 // Everything here must stay bit-exact with the retained from-scratch
 // walk (eq5Scratch): the golden corpus pins simulation bytes, and float
-// addition is not associative. Three rules keep it exact:
+// addition is not associative. The rules that keep it exact:
 //
-//   - the denominator of each connection is the same SurvivorWeight sum
-//     a scalar HandOffProb query performs, cached — not reassociated;
-//   - per-direction sums accumulate over connections in table order,
-//     the order the from-scratch walk uses;
-//   - a new connection appends at the end of the table, so extending a
-//     live sum by its contribution equals a from-scratch recomputation;
-//     any mutation that reorders or removes connections invalidates
-//     instead (subtracting floats back out would not round-trip).
+//   - Eq. 4 queries are piecewise-constant step functions of the extant
+//     sojourn: every query reduces to binary searches over the selected
+//     sojourn times of the connection's prev-group, so the cached
+//     values stay bit-identical while the (clamped) extant sojourn and
+//     its +test edge stay inside the same inter-breakpoint intervals.
+//     Each connection carries the next breakpoint past each edge
+//     (nextLo/nextHi); staleness is evaluated with the *same float
+//     expressions* the estimator's binary searches consume (ext :=
+//     now − enteredAt clamped; ext+test), so there is no ulp hazard.
+//   - The estimator generation is the other invalidation axis: the view
+//     is built under predict.EnsureCurrent(now) — after which no lazy
+//     selection rebuild can fire at that timestamp — and any later
+//     generation mismatch (Record, eviction, windowed-selection drift,
+//     ReadFrom) forces a full rebuild.
+//   - Per-direction sums always accumulate over the term columns in
+//     table order, the order the from-scratch walk uses. Sums are never
+//     patched by subtraction: removal swap-moves the per-connection
+//     state exactly like the connection table and re-accumulates;
+//     addition appends at the end of the table, where extending a live
+//     sum equals a from-scratch recomputation.
 //
-// The buffers are reused across keys, so a steady-state query is
-// allocation-free.
+// The buffers are reused across rebuilds, so steady state — advances,
+// refreshes, extends, removes, queries — is allocation-free.
 type eq5Cache struct {
 	valid  bool
 	now    float64
@@ -36,29 +52,72 @@ type eq5Cache struct {
 	est    *predict.Estimator
 	estGen uint64
 
-	// Per-connection state aligned with Engine.conns: ext is the
-	// clamped extant sojourn; den the Eq. 4 denominator (survivor
+	// Per-connection base state aligned with Engine.conns: ext is the
+	// clamped extant sojourn *as of the last base computation* (kept
+	// deliberately stale across advances while the guards below hold —
+	// the binary searches land on the same indices, so every derived
+	// value is bit-identical); den the Eq. 4 denominator (survivor
 	// weight) for hint-less connections; hintP the §7 sojourn
-	// probability for hinted connections, applied only toward the hint.
+	// probability for hinted connections.
 	ext   []float64
 	den   []float64
 	hintP []float64
 
-	// Per-direction running Eq. 5 sums, indexed by int(toward) with
-	// index 0 unused; done marks directions already accumulated.
-	sums []float64
-	done []bool
+	// Staleness guards: the base state of connection i is valid at a
+	// later timestamp while
+	//
+	//	extNew < nextLo[i] && extNew+test < nextHi[i]
+	//
+	// where extNew is computed exactly as eq5Base computes it. nextLo
+	// is the smallest selected sojourn of the connection's prev-group
+	// strictly above the ext the state was computed at; nextHi the
+	// smallest strictly above ext+test. +Inf when no breakpoint remains.
+	nextLo []float64
+	nextHi []float64
 
-	hits, misses uint64 // lifetime accounting, exposed via Eq5CacheStats
+	// expAt[i] is a timestamp at which connection i's guards were
+	// *verified* to still hold (with the exact guard expressions), and
+	// expiry the minimum over the table. Guard validity is
+	// downward-closed in now — fl(now − enteredAt) and its +test edge
+	// are nondecreasing in now — so an advance to any now ≤ expiry
+	// cannot expire a guard and is O(1). Past the bound, the indexed
+	// min-heap below (heapIdx a heap of table slots ordered by expAt,
+	// heapPos its inverse) yields exactly the connections whose
+	// verified point was crossed, so an advance costs O(crossed · log n)
+	// instead of a full table scan.
+	expAt   []float64
+	expiry  float64
+	heapIdx []int
+	heapPos []int
+
+	// terms[t][i] is connection i's Eq. 5 term toward direction t;
+	// termsDone[t] marks columns that are materialized for the current
+	// table. done[t] marks directions whose sum is accumulated (done[t]
+	// implies termsDone[t]). Advances and removals clear done only —
+	// the cached terms stay valid per connection and sums are lazily
+	// re-accumulated in table order.
+	terms     [][]float64
+	termsDone []bool
+	sums      []float64
+	done      []bool
+
+	// Per-prev sorted sojourn-breakpoint tables used to compute the
+	// guards, built lazily per (estimator, generation).
+	bps    [][]float64
+	bpsOK  []bool
+	bpsEst *predict.Estimator
+	bpsGen uint64
+
+	hits, misses uint64 // per-query accounting, exposed via Eq5CacheStats
+
+	// Materialized-view event accounting, exposed via Eq5ViewStats and
+	// the engine Ledger.
+	rebuilds  uint64 // full from-scratch view rebuilds
+	advances  uint64 // timestamp advances served incrementally
+	refreshes uint64 // per-connection base-state refreshes during advances
 }
 
-// matches reports whether the live cache answers for this query key.
-func (c *eq5Cache) matches(now, test float64, est *predict.Estimator) bool {
-	return c.valid && c.now == now && c.test == test && c.est == est &&
-		c.estGen == est.Generation()
-}
-
-// invalidate discards the cached state (buffers are kept for reuse).
+// invalidate discards the view (buffers are kept for reuse).
 func (c *eq5Cache) invalidate() { c.valid = false }
 
 // grow returns f resized to n without reallocating when capacity allows.
@@ -69,52 +128,314 @@ func grow(f []float64, n int) []float64 {
 	return f[:n]
 }
 
-// eq5BuildAccumulate rebuilds the cache for a fresh query key and
-// answers the requesting direction in one fused walk: each connection's
-// base state (extant sojourn, Eq. 4 denominator or hinted sojourn
-// probability) is computed and its term toward the requested direction
-// accumulated immediately, so a key queried exactly once — the
-// steady-simulation pattern, where timestamps only advance — costs a
-// single pass over the table, like the from-scratch walk. The fusion is
-// value-neutral: per connection the same operations run in the same
-// order, and the direction sum still accumulates in table order.
-// Called under the engine lock.
-func (e *Engine) eq5BuildAccumulate(now, test float64, est *predict.Estimator, toward topology.LocalIndex) float64 {
-	c := &e.eq5
-	c.valid = true
-	c.now, c.test, c.est = now, test, est
-	n := len(e.conns)
-	c.ext = grow(c.ext, n)
-	c.den = grow(c.den, n)
-	c.hintP = grow(c.hintP, n)
-	sum := 0.0
-	for i := range e.conns {
-		e.eq5Base(i)
-		sum += e.eq5Term(i, toward)
+// growBool returns b resized to n, cleared to false.
+func growBool(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
 	}
-	d := e.cfg.Degree + 1
-	c.sums = grow(c.sums, d)
-	if cap(c.done) < d {
-		c.done = make([]bool, d)
-	} else {
-		c.done = c.done[:d]
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// nextAbove returns the smallest value in the sorted slice s strictly
+// greater than x, or +Inf when none exists. The search mirrors
+// predict's weightAbove binary search, so a guard computed from it
+// expires exactly when the estimator's searches would land on a
+// different index.
+func nextAbove(s []float64, x float64) float64 {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(s) {
+		return math.Inf(1)
+	}
+	return s[lo]
+}
+
+// eq5Current reports whether the live view answers for (now, test, est),
+// advancing it across a timestamp change when the per-connection guards
+// allow. On false the caller performs a full rebuild. Called under the
+// engine lock.
+func (e *Engine) eq5Current(now, test float64, est *predict.Estimator) bool {
+	c := &e.eq5
+	if !c.valid || c.test != test || c.est != est {
+		return false
+	}
+	if c.now == now {
+		// Same timestamp, but the estimator may have moved underneath —
+		// a Record landing between two queries at equal now.
+		return est.Generation() == c.estGen
+	}
+	return e.eq5Advance(now, est)
+}
+
+// eq5Advance moves the view from c.now to a later now. The estimator is
+// pinned first (EnsureCurrent): if its generation moved — a Record, an
+// eviction, or a windowed-selection drift rebuild at the new timestamp —
+// the cached terms were computed against a dead selection and the view
+// must be rebuilt from scratch. Otherwise each connection's guards are
+// checked with the exact float expressions the estimator's binary
+// searches consume; connections whose extant sojourn crossed a
+// breakpoint get their base state, guards, and materialized term
+// columns refreshed, and the direction sums are lazily re-accumulated.
+// When no guard expired the finished sums remain valid as-is: every
+// cached term is bit-identical to the from-scratch term at the new
+// timestamp. Called under the engine lock.
+func (e *Engine) eq5Advance(now float64, est *predict.Estimator) bool {
+	c := &e.eq5
+	if now < c.now {
+		return false // time went backwards: not an advance
+	}
+	if est.EnsureCurrent(now) != c.estGen {
+		return false
+	}
+	c.advances++
+	if now <= c.expiry {
+		// No guard can expire at or before the verified expiry bound:
+		// the advance is O(1) and every cached term and finished sum
+		// stays bit-valid as-is.
+		c.now = now
+		return true
+	}
+	c.now = now
+	refreshed := false
+	// Pop every connection whose verified point was crossed. The heap
+	// holds only the view's own table — during eq5Extend the engine
+	// table has already grown by the appended connection, which the
+	// view incorporates only after the advance. A popped connection
+	// whose guards still hold (the approximate bound undershot the real
+	// crossing) is re-verified at now itself, which keeps the loop
+	// monotone; eq5Guards clamps refreshed bounds to ≥ now the same way.
+	for len(c.heapIdx) > 0 {
+		i := c.heapIdx[0]
+		if c.expAt[i] >= now {
+			break
+		}
+		if e.eq5GuardAt(i, now) {
+			c.expAt[i] = now
+		} else {
+			e.eq5Refresh(i)
+			refreshed = true
+		}
+		c.heapDown(0)
+	}
+	c.expiry = c.heapTopExpiry()
+	if refreshed {
 		for t := range c.done {
 			c.done[t] = false
 		}
 	}
-	if t := int(toward); t >= 1 && t < d {
+	return true
+}
+
+// eq5GuardAt reports whether connection i's cached guards hold at
+// timestamp t, using the exact float expressions the estimator's binary
+// searches consume.
+func (e *Engine) eq5GuardAt(i int, t float64) bool {
+	c := &e.eq5
+	ext := t - e.conns[i].enteredAt
+	if ext < 0 {
+		ext = 0
+	}
+	return ext < c.nextLo[i] && ext+c.test < c.nextHi[i]
+}
+
+// The expiry heap: a classic indexed binary min-heap over table slots,
+// ordered by expAt. heapPos is the inverse permutation, kept so that a
+// slot's entry can be fixed up or deleted in O(log n) when its bound
+// changes (refresh), it is appended (extend), or the table swap-removes
+// it. No slice here ever shrinks capacity, so steady state stays
+// allocation-free.
+
+func (c *eq5Cache) heapLess(a, b int) bool {
+	return c.expAt[c.heapIdx[a]] < c.expAt[c.heapIdx[b]]
+}
+
+func (c *eq5Cache) heapSwap(a, b int) {
+	c.heapIdx[a], c.heapIdx[b] = c.heapIdx[b], c.heapIdx[a]
+	c.heapPos[c.heapIdx[a]] = a
+	c.heapPos[c.heapIdx[b]] = b
+}
+
+func (c *eq5Cache) heapUp(p int) {
+	for p > 0 {
+		q := (p - 1) / 2
+		if !c.heapLess(p, q) {
+			return
+		}
+		c.heapSwap(p, q)
+		p = q
+	}
+}
+
+func (c *eq5Cache) heapDown(p int) {
+	n := len(c.heapIdx)
+	for {
+		l := 2*p + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && c.heapLess(r, l) {
+			m = r
+		}
+		if !c.heapLess(m, p) {
+			return
+		}
+		c.heapSwap(p, m)
+		p = m
+	}
+}
+
+// heapInit (re)builds the heap over table slots 0..n-1 in O(n).
+func (c *eq5Cache) heapInit(n int) {
+	c.heapIdx = growInt(c.heapIdx, n)
+	c.heapPos = growInt(c.heapPos, n)
+	for i := 0; i < n; i++ {
+		c.heapIdx[i] = i
+		c.heapPos[i] = i
+	}
+	for p := n/2 - 1; p >= 0; p-- {
+		c.heapDown(p)
+	}
+}
+
+// heapPush appends slot i (expAt[i] must already be set).
+func (c *eq5Cache) heapPush(i int) {
+	c.heapIdx = append(c.heapIdx, i)
+	c.heapPos = append(c.heapPos[:i], len(c.heapIdx)-1)
+	c.heapUp(len(c.heapIdx) - 1)
+}
+
+// heapDelete removes slot i's entry. Its heapPos slot is left stale;
+// the caller renames or truncates it immediately after.
+func (c *eq5Cache) heapDelete(i int) {
+	p := c.heapPos[i]
+	n := len(c.heapIdx) - 1
+	if p != n {
+		c.heapIdx[p] = c.heapIdx[n]
+		c.heapPos[c.heapIdx[p]] = p
+	}
+	c.heapIdx = c.heapIdx[:n]
+	if p != n {
+		c.heapDown(p)
+		c.heapUp(p)
+	}
+}
+
+// heapRename re-points the entry of table slot from to slot to (the
+// expAt value moved with the table swap, so order is untouched).
+func (c *eq5Cache) heapRename(from, to int) {
+	p := c.heapPos[from]
+	c.heapIdx[p] = to
+	c.heapPos[to] = p
+}
+
+// heapTopExpiry returns the smallest verified expiry point, +Inf for an
+// empty table.
+func (c *eq5Cache) heapTopExpiry() float64 {
+	if len(c.heapIdx) == 0 {
+		return math.Inf(1)
+	}
+	return c.expAt[c.heapIdx[0]]
+}
+
+// growInt returns s resized to n without reallocating when capacity
+// allows.
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// eq5Refresh recomputes one connection's base state, guards, and any
+// materialized term-column entries at the view's current timestamp.
+// The caller clears the direction sums. Called under the engine lock.
+func (e *Engine) eq5Refresh(i int) {
+	c := &e.eq5
+	c.refreshes++
+	e.eq5Base(i)
+	e.eq5Guards(i)
+	for t := 1; t < len(c.termsDone); t++ {
+		if c.termsDone[t] {
+			c.terms[t][i] = e.eq5Term(i, topology.LocalIndex(t))
+		}
+	}
+}
+
+// eq5Rebuild builds the view from scratch for (now, test, est) and
+// answers the requesting direction in one fused walk: each connection's
+// base state and guards are computed and its term toward the requested
+// direction materialized and accumulated immediately, so a key queried
+// exactly once costs a single pass over the table like the from-scratch
+// walk. The estimator is pinned with EnsureCurrent before the walk, so
+// no lazy selection rebuild can move the generation mid-build. Called
+// under the engine lock.
+func (e *Engine) eq5Rebuild(now, test float64, est *predict.Estimator, toward topology.LocalIndex) float64 {
+	c := &e.eq5
+	c.rebuilds++
+	c.valid = true
+	c.now, c.test, c.est = now, test, est
+	c.estGen = est.EnsureCurrent(now)
+	if c.bpsEst != est || c.bpsGen != c.estGen {
+		c.bpsEst, c.bpsGen = est, c.estGen
+		for p := range c.bpsOK {
+			c.bpsOK[p] = false
+		}
+	}
+	n := len(e.conns)
+	c.ext = grow(c.ext, n)
+	c.den = grow(c.den, n)
+	c.hintP = grow(c.hintP, n)
+	c.nextLo = grow(c.nextLo, n)
+	c.nextHi = grow(c.nextHi, n)
+	c.expAt = grow(c.expAt, n)
+	d := e.cfg.Degree + 1
+	c.sums = grow(c.sums, d)
+	c.done = growBool(c.done, d)
+	c.termsDone = growBool(c.termsDone, d)
+	for len(c.terms) < d {
+		c.terms = append(c.terms, nil)
+	}
+	c.terms = c.terms[:d]
+	t := int(toward)
+	var col []float64
+	if t >= 1 && t < d {
+		c.terms[t] = grow(c.terms[t], n)
+		col = c.terms[t]
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		e.eq5Base(i)
+		e.eq5Guards(i)
+		v := e.eq5Term(i, toward)
+		if col != nil {
+			col[i] = v
+		}
+		sum += v
+	}
+	c.heapInit(n)
+	c.expiry = c.heapTopExpiry()
+	if col != nil {
 		c.sums[t] = sum
 		c.done[t] = true
+		c.termsDone[t] = true
 	}
-	// Read the generation after the walks above: any lazy index rebuild
-	// they triggered happened at this key's timestamp and is part of the
-	// state the cache was computed from.
-	c.estGen = est.Generation()
 	return sum
 }
 
-// eq5Base fills the cached per-connection state for table slot i at the
-// cache's key.
+// eq5Base fills the cached per-connection base state for table slot i
+// at the view's current timestamp.
 func (e *Engine) eq5Base(i int) {
 	c := &e.eq5
 	cn := &e.conns[i]
@@ -132,8 +453,77 @@ func (e *Engine) eq5Base(i int) {
 	c.den[i] = c.est.SurvivorWeight(c.now, cn.prev, ext)
 }
 
+// eq5Guards recomputes connection i's staleness guards from its
+// prev-group's breakpoint table, and the verified expiry point derived
+// from them. Must run after eq5Base (it reads the ext the base state
+// was computed at).
+func (e *Engine) eq5Guards(i int) {
+	c := &e.eq5
+	bp := e.eq5Breakpoints(e.conns[i].prev)
+	c.nextLo[i] = nextAbove(bp, c.ext[i])
+	c.nextHi[i] = nextAbove(bp, c.ext[i]+c.test)
+	// Fresh guards hold strictly at c.now (nextAbove is strictly above
+	// both edges), so the bound is clamped to ≥ c.now: the advance
+	// pop-loop relies on a refreshed connection never re-entering the
+	// expired region of the heap at the same timestamp.
+	b := e.eq5ExpiryBound(i)
+	if b < c.now {
+		b = c.now
+	}
+	c.expAt[i] = b
+}
+
+// eq5ExpiryBound returns a timestamp at which connection i's guards
+// provably still hold. The approximate crossing enteredAt + min(nextLo,
+// nextHi−test) is walked down by ulps until the exact guard expressions
+// accept it — float addition can overshoot the true crossing, and the
+// skip rule in eq5Advance relies on the returned point being verified,
+// not estimated. Falls back to the view's current timestamp (guards
+// always hold there) if no nearby point verifies, which merely costs a
+// scan on the next advance.
+func (e *Engine) eq5ExpiryBound(i int) float64 {
+	c := &e.eq5
+	lim := c.nextLo[i]
+	if h := c.nextHi[i] - c.test; h < lim {
+		lim = h
+	}
+	cand := e.conns[i].enteredAt + lim
+	for k := 0; k < 8; k++ {
+		if e.eq5GuardAt(i, cand) {
+			return cand
+		}
+		cand = math.Nextafter(cand, math.Inf(-1))
+	}
+	if e.eq5GuardAt(i, cand) {
+		return cand
+	}
+	return c.now
+}
+
+// eq5Breakpoints returns the sorted sojourn breakpoints of one
+// prev-group at the current (estimator, generation), building the table
+// lazily. The group table covers every Eq. 4 query a connection from
+// that prev can issue: the group selection is the union of its pairs'
+// selections, so pair numerators, the group denominator, hinted sojourn
+// probabilities, and the hinted pair→group-marginal fallback flip all
+// change value only at these points.
+func (e *Engine) eq5Breakpoints(prev topology.LocalIndex) []float64 {
+	c := &e.eq5
+	p := int(prev)
+	for p >= len(c.bps) {
+		c.bps = append(c.bps, nil)
+		c.bpsOK = append(c.bpsOK, false)
+	}
+	if !c.bpsOK[p] {
+		c.bps[p] = c.est.AppendSojournBreakpoints(c.bps[p][:0], c.now, prev)
+		c.bpsOK[p] = true
+	}
+	return c.bps[p]
+}
+
 // eq5Term returns connection i's Eq. 5 term toward one direction, from
-// the cached base state — bit-identical to the from-scratch term.
+// the cached base state — bit-identical to the from-scratch term while
+// the guards hold.
 func (e *Engine) eq5Term(i int, toward topology.LocalIndex) float64 {
 	c := &e.eq5
 	cn := &e.conns[i]
@@ -153,53 +543,138 @@ func (e *Engine) eq5Term(i int, toward topology.LocalIndex) float64 {
 	return b * p
 }
 
-// eq5Accumulate walks the connection table once for one direction using
-// the cached base state. Summation order matches eq5Scratch.
+// eq5Accumulate answers one direction from the view: the term column is
+// materialized on first use and the sum accumulated over it in table
+// order, matching eq5Scratch. Called under the engine lock.
 func (e *Engine) eq5Accumulate(toward topology.LocalIndex) float64 {
+	c := &e.eq5
+	t := int(toward)
+	n := len(e.conns)
+	if t < 1 || t >= len(c.termsDone) {
+		// Out-of-range direction (never a live neighbor): answer without
+		// touching the view's column state.
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += e.eq5Term(i, toward)
+		}
+		return sum
+	}
+	if !c.termsDone[t] {
+		c.terms[t] = grow(c.terms[t], n)
+		col := c.terms[t]
+		for i := 0; i < n; i++ {
+			col[i] = e.eq5Term(i, toward)
+		}
+		c.termsDone[t] = true
+	}
 	sum := 0.0
-	for i := range e.conns {
-		sum += e.eq5Term(i, toward)
+	for _, v := range c.terms[t][:n] {
+		sum += v
 	}
 	return sum
 }
 
 // eq5Extend incorporates the connection just appended at table slot i
-// into any live cache: when the key still matches, its base state is
-// computed and every already-accumulated direction extended — exactly
-// what a from-scratch walk at this key would now produce, since the new
-// connection sits at the end of the table. Any mismatch simply drops
-// the cache. Called under the engine lock by AddConnection.
+// into the live view. A timestamp change is first advanced across like
+// any query would; the new connection's base state, guards, and
+// materialized term-column entries are then appended, and every
+// finished direction sum extended by its term — exactly what a
+// from-scratch walk would now produce, since the new connection sits at
+// the end of the table. Any key mismatch simply drops the view. Called
+// under the engine lock by AddConnection.
 func (e *Engine) eq5Extend(i int, now float64) {
 	c := &e.eq5
 	if !c.valid {
 		return
 	}
-	if e.patterns == nil || c.now != now {
+	if e.patterns == nil {
 		c.invalidate()
 		return
 	}
 	est := e.patterns.Estimator(now)
-	if est != c.est || est.Generation() != c.estGen {
+	if est != c.est {
+		c.invalidate()
+		return
+	}
+	if c.now != now {
+		if !e.eq5Advance(now, est) {
+			c.invalidate()
+			return
+		}
+	} else if est.Generation() != c.estGen {
 		c.invalidate()
 		return
 	}
 	c.ext = append(c.ext[:i], 0)
 	c.den = append(c.den[:i], 0)
 	c.hintP = append(c.hintP[:i], 0)
+	c.nextLo = append(c.nextLo[:i], 0)
+	c.nextHi = append(c.nextHi[:i], 0)
+	c.expAt = append(c.expAt[:i], 0)
 	e.eq5Base(i)
-	// As in eq5BuildAccumulate, lazy rebuilds triggered by the new
-	// connection's first query at this timestamp move the generation
-	// without changing any value the cache already holds.
-	c.estGen = est.Generation()
-	for t := 1; t < len(c.done); t++ {
+	e.eq5Guards(i)
+	c.heapPush(i)
+	if c.expAt[i] < c.expiry {
+		c.expiry = c.expAt[i]
+	}
+	for t := 1; t < len(c.termsDone); t++ {
+		if !c.termsDone[t] {
+			continue
+		}
+		v := e.eq5Term(i, topology.LocalIndex(t))
+		c.terms[t] = append(c.terms[t][:i], v)
 		if c.done[t] {
-			c.sums[t] += e.eq5Term(i, topology.LocalIndex(t))
+			c.sums[t] += v
 		}
 	}
 }
 
+// eq5Remove mirrors the engine's swap-removal of table slot i (the old
+// last slot moved into i) in the per-connection view state and clears
+// the direction sums: the cached terms stay valid per connection, but a
+// float sum cannot be patched by subtraction and re-accumulating in the
+// new table order is what the from-scratch walk now does. Called under
+// the engine lock by RemoveConnection, after the table swap, with last
+// = the new table length.
+func (e *Engine) eq5Remove(i, last int) {
+	c := &e.eq5
+	if !c.valid {
+		return
+	}
+	c.heapDelete(i)
+	if i != last {
+		c.ext[i] = c.ext[last]
+		c.den[i] = c.den[last]
+		c.hintP[i] = c.hintP[last]
+		c.nextLo[i] = c.nextLo[last]
+		c.nextHi[i] = c.nextHi[last]
+		c.expAt[i] = c.expAt[last]
+		c.heapRename(last, i)
+	}
+	c.ext = c.ext[:last]
+	c.den = c.den[:last]
+	c.hintP = c.hintP[:last]
+	c.nextLo = c.nextLo[:last]
+	c.nextHi = c.nextHi[:last]
+	c.expAt = c.expAt[:last]
+	c.heapPos = c.heapPos[:last]
+	c.expiry = c.heapTopExpiry()
+	for t := 1; t < len(c.termsDone); t++ {
+		if !c.termsDone[t] {
+			continue
+		}
+		if i != last {
+			c.terms[t][i] = c.terms[t][last]
+		}
+		c.terms[t] = c.terms[t][:last]
+	}
+	for t := range c.done {
+		c.done[t] = false
+	}
+}
+
 // eq5Scratch is the retained from-scratch Eq. 5 walk — the reference
-// semantics the cache must reproduce bit-for-bit, kept both as the
+// semantics the view must reproduce bit-for-bit, kept both as the
 // verifier's oracle and as documentation of the paper's sum:
 // B_{this,toward} = Σ_j b(C_j) · p_h(C_j → toward within test).
 func (e *Engine) eq5Scratch(now float64, toward topology.LocalIndex, test float64, est *predict.Estimator) float64 {
@@ -227,21 +702,38 @@ func (e *Engine) eq5Scratch(now float64, toward topology.LocalIndex, test float6
 }
 
 // Eq5CacheStats returns the lifetime (hit, miss) counts of the Eq. 5
-// query cache: hits answered from a memoized per-direction sum, misses
-// paid for an accumulation walk (diagnostics; not part of any report).
+// view: hits answered from a finished per-direction sum, misses paid
+// for a rebuild or an accumulation walk (diagnostics; not part of any
+// report).
 func (e *Engine) Eq5CacheStats() (hits, misses uint64) {
 	e.lock()
 	defer e.unlock()
 	return e.eq5.hits, e.eq5.misses
 }
 
-// VerifyEq5Cache recomputes every cached per-direction Eq. 5 sum from
-// scratch at the cache's own key and returns the largest absolute
-// divergence observed; checked is false when no live cached sum was
-// comparable (no cache, stale generation, or nothing accumulated yet).
-// internal/audit wires this into the invariant sweep with a 1e-9
-// tolerance, keeping the incremental fast path honest against the
-// retained from-scratch path.
+// Eq5ViewStats returns the materialized view's lifetime event counts:
+// full rebuilds, incremental timestamp advances, and per-connection
+// refreshes performed during those advances (diagnostics; not part of
+// any report).
+func (e *Engine) Eq5ViewStats() (rebuilds, advances, refreshes uint64) {
+	e.lock()
+	defer e.unlock()
+	return e.eq5.rebuilds, e.eq5.advances, e.eq5.refreshes
+}
+
+// VerifyEq5Cache re-derives the live view against the from-scratch
+// oracle at the view's own timestamp and returns the largest absolute
+// divergence observed; checked is false when there was no live view to
+// compare (no view, stale generation, or nothing accumulated yet). The
+// sweep re-derives three layers: every finished per-direction sum
+// against eq5Scratch, every materialized term against a fresh Eq. 4
+// evaluation, and every connection's staleness guards (a guard that no
+// longer holds means an advance failed to refresh the connection —
+// reported as an infinite divergence, since the cached state is then
+// untrustworthy regardless of its current numeric luck). internal/audit
+// wires this into the invariant sweep with a 1e-9 tolerance, keeping
+// the incremental fast path honest against the retained from-scratch
+// path.
 func (e *Engine) VerifyEq5Cache() (maxDiff float64, checked bool) {
 	if e.patterns == nil {
 		return 0, false
@@ -251,9 +743,9 @@ func (e *Engine) VerifyEq5Cache() (maxDiff float64, checked bool) {
 	return e.verifyEq5Locked()
 }
 
-// VerifyEq5CacheAt is VerifyEq5Cache restricted to a cache whose key
+// VerifyEq5CacheAt is VerifyEq5Cache restricted to a view whose current
 // timestamp equals now. The event-boundary invariant sweep uses it: it
-// certifies exactly the sums the just-fired event's admission queries
+// certifies exactly the state the just-fired event's admission queries
 // consumed, and the from-scratch walks run at the current timestamp, so
 // they never force the estimator indexes backward in time (re-verifying
 // a stale key would rebuild each windowed selection at the old
@@ -277,10 +769,69 @@ func (e *Engine) verifyEq5Locked() (maxDiff float64, checked bool) {
 		return 0, false
 	}
 	if est := e.patterns.Estimator(c.now); est != c.est || est.Generation() != c.estGen {
-		// Stale key: the next query discards the cache anyway; there is
+		// Stale key: the next query discards the view anyway; there is
 		// no live state to certify.
 		return 0, false
 	}
+	// Layer 1: per-connection guards and the expiry machinery above
+	// them. Guard validity is downward-closed in the timestamp, so
+	// checking each connection at max(now, expAt[i]) certifies both the
+	// view's current state and the verified point the advance fast path
+	// will trust — catching a too-optimistic bound before an advance
+	// ever skips past a real breakpoint crossing. The expiry heap must
+	// be a consistent indexed min-heap whose top equals the scalar
+	// bound, or the pop-loop can miss crossed connections regardless of
+	// the per-connection numbers.
+	if len(c.heapIdx) != len(e.conns) || len(c.heapPos) != len(e.conns) || c.expiry != c.heapTopExpiry() {
+		return math.Inf(1), true
+	}
+	for p := range c.heapIdx {
+		i := c.heapIdx[p]
+		if i < 0 || i >= len(e.conns) || c.heapPos[i] != p {
+			return math.Inf(1), true
+		}
+		if p > 0 && c.heapLess(p, (p-1)/2) {
+			return math.Inf(1), true
+		}
+	}
+	for i := range e.conns {
+		at := c.now
+		if c.expAt[i] > at {
+			at = c.expAt[i]
+		}
+		if !e.eq5GuardAt(i, at) {
+			return math.Inf(1), true
+		}
+	}
+	// Layer 2: materialized term columns against fresh Eq. 4
+	// evaluations at the view's timestamp.
+	for t := 1; t < len(c.termsDone); t++ {
+		if !c.termsDone[t] {
+			continue
+		}
+		toward := topology.LocalIndex(t)
+		for i := range e.conns {
+			cn := &e.conns[i]
+			ext := c.now - cn.enteredAt
+			if ext < 0 {
+				ext = 0
+			}
+			b := float64(cn.min)
+			fresh := 0.0
+			if cn.hint != NoHint {
+				if cn.hint == toward {
+					fresh = b * c.est.SojournProb(c.now, cn.prev, cn.hint, ext, c.test)
+				}
+			} else {
+				fresh = b * c.est.HandOffProb(c.now, cn.prev, ext, c.test, toward)
+			}
+			if d := math.Abs(fresh - c.terms[t][i]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		checked = true
+	}
+	// Layer 3: finished direction sums against the from-scratch walk.
 	for t := 1; t < len(c.done); t++ {
 		if !c.done[t] {
 			continue

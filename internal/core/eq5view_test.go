@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"cellqos/internal/predict"
+	"cellqos/internal/topology"
+)
+
+// TestPropertyIncrementalBr is the differential harness for the
+// materialized Eq. 5 view: it drives random interleavings of
+// AddConnection, RemoveConnection, hand-off departures, estimator
+// Records, EvictBefore sweeps, and clock advances, and after *every*
+// event queries a reservation and compares it against the retained
+// from-scratch oracle (eq5Scratch) to the audit tolerance, then
+// re-certifies the whole view via VerifyEq5Cache. Unlike
+// TestPropertyEq5Incremental it holds the estimation window to a small
+// set of values, so the view survives across events and the incremental
+// advance/refresh/extend/remove delta paths — not the rebuild path —
+// are what answer most queries. Run under -race via `make race`.
+func TestPropertyIncrementalBr(t *testing.T) {
+	cfgs := []struct {
+		name string
+		est  predict.Config
+	}{
+		{"stationary", predict.StationaryConfig()},
+		{"windowed", predict.Config{Tint: 40, Period: 200, NwinPeriods: 1, NQuad: 30, RebuildEvery: 5}},
+	}
+	for _, tc := range cfgs {
+		for seed := uint64(0); seed < 8; seed++ {
+			t.Run(fmt.Sprintf("%s/seed=%d", tc.name, seed), func(t *testing.T) {
+				t.Parallel()
+				runIncrementalBrOps(t, tc.est, seed)
+			})
+		}
+	}
+}
+
+func runIncrementalBrOps(t *testing.T, estCfg predict.Config, seed uint64) {
+	t.Helper()
+	cfg := Config{
+		Capacity: 200, Degree: 4, Policy: AC1,
+		PHDTarget: 0.01, TStart: 1, Estimation: estCfg,
+	}
+	e := NewEngine(cfg)
+	r := rand.New(rand.NewPCG(0x1BCB41EC, seed))
+	now := 0.0
+	var live []ConnID
+	nextID := ConnID(1)
+
+	randDir := func() topology.LocalIndex {
+		return topology.LocalIndex(1 + r.IntN(cfg.Degree))
+	}
+	// A narrow window set keeps the view alive across events: the same
+	// (test, estimator) key recurs, so timestamp changes advance the
+	// view instead of rebuilding it.
+	windows := []float64{5, 12.5}
+	check := func(step int, what string) {
+		t.Helper()
+		toward := randDir()
+		test := windows[r.IntN(len(windows))]
+		got := e.OutgoingReservation(now, toward, test)
+		want := e.eq5Scratch(now, toward, test, e.patterns.Estimator(now))
+		if math.Abs(got-want) > eq5PropTolerance {
+			t.Fatalf("step %d after %s: OutgoingReservation(now=%v, toward=%d, test=%v) = %v, from-scratch = %v (diff %v)",
+				step, what, now, toward, test, got, want, math.Abs(got-want))
+		}
+		if diff, checked := e.VerifyEq5Cache(); checked && diff > eq5PropTolerance {
+			t.Fatalf("step %d after %s: VerifyEq5Cache reports divergence %v (tolerance %v)",
+				step, what, diff, eq5PropTolerance)
+		}
+	}
+
+	for step := 0; step < 500; step++ {
+		what := "query"
+		switch op := r.IntN(14); {
+		case op < 3: // admit a new connection
+			what = "add"
+			min := 1 + r.IntN(5)
+			if e.used+min > cfg.Capacity {
+				break
+			}
+			spec := ConnSpec{Min: min, Prev: topology.Self}
+			if r.IntN(3) == 0 {
+				spec.Max = min + r.IntN(4)
+			}
+			if r.IntN(4) == 0 {
+				spec.Hint = randDir()
+			}
+			e.AddConnection(nextID, spec, now)
+			live = append(live, nextID)
+			nextID++
+		case op < 5: // connection ends
+			what = "remove"
+			if len(live) == 0 {
+				break
+			}
+			i := r.IntN(len(live))
+			id := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			e.RemoveConnection(id)
+		case op < 7: // hand-off out: departure recorded, then a fresh arrival
+			what = "hand-off"
+			if len(live) == 0 {
+				break
+			}
+			i := r.IntN(len(live))
+			id := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			e.RecordDeparture(predict.Quadruplet{
+				Event: now, Prev: topology.Self, Next: randDir(),
+				Sojourn: r.Float64() * 50,
+			})
+			e.RemoveConnection(id)
+			min := 1 + r.IntN(5)
+			if e.used+min <= cfg.Capacity {
+				e.AddConnection(nextID, ConnSpec{Min: min, Prev: randDir()}, now)
+				live = append(live, nextID)
+				nextID++
+			}
+		case op < 9: // estimator learns a quadruplet
+			what = "record"
+			prev := topology.Self
+			if r.IntN(2) == 0 {
+				prev = randDir()
+			}
+			e.RecordDeparture(predict.Quadruplet{
+				Event: now, Prev: prev, Next: randDir(),
+				Sojourn: r.Float64() * 50,
+			})
+		case op == 9: // explicit estimator eviction
+			what = "evict"
+			e.patterns.Estimator(now).EvictBefore(now - 20 - r.Float64()*100)
+		case op == 10: // §3.1 deletion rule
+			what = "sweep"
+			e.SweepHistory(now)
+		case op < 13: // clock advance — the view's hot path
+			what = "advance"
+			now += r.Float64() * 5
+		default:
+		}
+		check(step, what)
+	}
+	// Final full fan-out at one key: every direction must agree.
+	for toward := topology.LocalIndex(1); int(toward) <= cfg.Degree; toward++ {
+		for _, test := range windows {
+			got := e.OutgoingReservation(now, toward, test)
+			want := e.eq5Scratch(now, toward, test, e.patterns.Estimator(now))
+			if math.Abs(got-want) > eq5PropTolerance {
+				t.Fatalf("final: toward %d test %v: view %v vs from-scratch %v", toward, test, got, want)
+			}
+		}
+	}
+}
+
+// TestEq5ViewEdgeCases pins the invalidation edge cases of the
+// materialized view in table form: same-timestamp add/remove pairs
+// (including the swap-remove of a middle slot), a Record landing
+// between two queries at one timestamp, and evict-triggered generation
+// bumps — with and without samples actually dropping.
+func TestEq5ViewEdgeCases(t *testing.T) {
+	type viewState struct {
+		rebuilds uint64
+		live     bool // VerifyEq5Cache checked
+	}
+	cases := []struct {
+		name string
+		run  func(t *testing.T, e *Engine) viewState
+	}{
+		{
+			// Add then remove the same connection at one timestamp: the
+			// view extends, then swap-shrinks, and keeps answering
+			// without a rebuild.
+			name: "same-timestamp add/remove pair",
+			run: func(t *testing.T, e *Engine) viewState {
+				e.OutgoingReservation(100, 1, 30)
+				e.AddConnection(50, ConnSpec{Min: 3, Prev: 1}, 100)
+				e.RemoveConnection(50)
+				r, _, _ := e.Eq5ViewStats()
+				return viewState{rebuilds: r, live: true}
+			},
+		},
+		{
+			// Remove a *middle* slot at the cache timestamp: the last
+			// connection swaps into its place and every per-connection
+			// column must move with it.
+			name: "same-timestamp middle swap-remove",
+			run: func(t *testing.T, e *Engine) viewState {
+				e.OutgoingReservation(100, 1, 30)
+				e.AddConnection(50, ConnSpec{Min: 3, Prev: 1}, 100)
+				e.AddConnection(51, ConnSpec{Min: 7, Prev: 2, Hint: 1}, 100)
+				e.RemoveConnection(1) // seeded conn at slot 0: 51 swaps in
+				r, _, _ := e.Eq5ViewStats()
+				return viewState{rebuilds: r, live: true}
+			},
+		},
+		{
+			// A Record between two queries at equal now: the second
+			// query must see the new selection (full rebuild), not the
+			// memoized sum.
+			name: "record between equal-now queries",
+			run: func(t *testing.T, e *Engine) viewState {
+				e.OutgoingReservation(100, 1, 30)
+				e.RecordDeparture(predict.Quadruplet{Event: 100, Prev: topology.Self, Next: 1, Sojourn: 12})
+				r0, _, _ := e.Eq5ViewStats()
+				e.OutgoingReservation(100, 1, 30)
+				r1, _, _ := e.Eq5ViewStats()
+				if r1 != r0+1 {
+					t.Fatalf("equal-now query after Record did not rebuild (rebuilds %d -> %d)", r0, r1)
+				}
+				return viewState{rebuilds: r1, live: true}
+			},
+		},
+		{
+			// EvictBefore that drops samples bumps the generation: the
+			// next query rebuilds against the shrunken selection.
+			name: "evict drops samples",
+			run: func(t *testing.T, e *Engine) viewState {
+				e.OutgoingReservation(100, 1, 30)
+				est := e.patterns.Estimator(100)
+				gen := est.Generation()
+				est.EvictBefore(1.5) // drops the Event=0 and Event=1 quadruplets
+				if est.Generation() == gen {
+					t.Fatal("EvictBefore dropped samples without bumping the generation")
+				}
+				r0, _, _ := e.Eq5ViewStats()
+				e.OutgoingReservation(100, 1, 30)
+				r1, _, _ := e.Eq5ViewStats()
+				if r1 != r0+1 {
+					t.Fatalf("query after dropping evict did not rebuild (rebuilds %d -> %d)", r0, r1)
+				}
+				return viewState{rebuilds: r1, live: true}
+			},
+		},
+		{
+			// EvictBefore that drops nothing leaves the generation — and
+			// the live view — alone: the next query is a plain hit.
+			name: "evict drops nothing",
+			run: func(t *testing.T, e *Engine) viewState {
+				e.OutgoingReservation(100, 1, 30)
+				est := e.patterns.Estimator(100)
+				gen := est.Generation()
+				est.EvictBefore(-1)
+				if est.Generation() != gen {
+					t.Fatal("no-op EvictBefore bumped the generation")
+				}
+				h0, _ := e.Eq5CacheStats()
+				e.OutgoingReservation(100, 1, 30)
+				if h1, _ := e.Eq5CacheStats(); h1 != h0+1 {
+					t.Fatalf("query after no-op evict was not a hit (hits %d -> %d)", h0, h1)
+				}
+				r, _, _ := e.Eq5ViewStats()
+				return viewState{rebuilds: r, live: true}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := seedEq5Engine()
+			st := tc.run(t, e)
+			// Whatever the path, the surviving state must re-derive
+			// cleanly and the next answers must match the oracle.
+			if diff, checked := e.VerifyEq5Cache(); checked != st.live || diff > eq5PropTolerance {
+				t.Fatalf("VerifyEq5Cache = (%v, %v), want live=%v within tolerance", diff, checked, st.live)
+			}
+			for _, toward := range []topology.LocalIndex{1, 2} {
+				got := e.OutgoingReservation(100, toward, 30)
+				want := e.eq5Scratch(100, toward, 30, e.patterns.Estimator(100))
+				if got != want {
+					t.Fatalf("toward %d: view %v != from-scratch %v", toward, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestEq5ViewAdvanceAllocationFree pins the steady-state cost model:
+// once the view is warm, advancing the clock and re-querying allocates
+// nothing, even when guard expiries force per-connection refreshes.
+func TestEq5ViewAdvanceAllocationFree(t *testing.T) {
+	e := seedEq5Engine()
+	for i := 0; i < 30; i++ {
+		e.RecordDeparture(predict.Quadruplet{
+			Event: float64(3 + i), Prev: topology.LocalIndex(i % 3),
+			Next: topology.LocalIndex(1 + i%2), Sojourn: float64(5 + (i*7)%40),
+		})
+	}
+	now := 100.0
+	e.OutgoingReservation(now, 1, 30) // warm the view
+	e.OutgoingReservation(now, 2, 30)
+	allocs := testing.AllocsPerRun(200, func() {
+		now += 0.25
+		e.OutgoingReservation(now, 1, 30)
+		e.OutgoingReservation(now, 2, 30)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state advance allocated %v times per run, want 0", allocs)
+	}
+}

@@ -704,3 +704,41 @@ func (e *Estimator) AppendSelected(dst []WeightedSample, t0 float64, prev topolo
 func (e *Estimator) Selected(t0 float64, prev topology.LocalIndex) []WeightedSample {
 	return e.AppendSelected(nil, t0, prev)
 }
+
+// EnsureCurrent refreshes every pair's windowed selection for query time
+// t0 and returns the resulting generation. It is the synchronization
+// point for callers that maintain state derived incrementally from the
+// selection (core's materialized Eq. 5 view): after EnsureCurrent(t0)
+// returns, no further query at the same t0 can trigger a lazy rebuild,
+// so the returned generation is stable for the rest of the caller's
+// work at t0. A caller compares it against the generation its derived
+// state was built under and falls back to a full rebuild on mismatch.
+func (e *Estimator) EnsureCurrent(t0 float64) uint64 {
+	e.ensureAll(t0)
+	return e.gen
+}
+
+// AppendSojournBreakpoints appends the sojourn time of every currently
+// selected sample reachable from prev to dst, sorts the appended tail
+// ascending, and returns dst. These are the breakpoints of the
+// piecewise-constant Eq. 4 queries in their extant-sojourn argument:
+// SurvivorWeight, HandOffWeight and SojournProb from prev change value
+// only when the (clamped) extant sojourn crosses one of them, because
+// every query reduces to binary searches over the pairs' selected
+// sojourns and the group selection is the union of its pairs'
+// selections. The list is valid for the generation under which it was
+// taken; callers re-fetch after the epoch moves. Passing a buffer with
+// spare capacity makes the call allocation-free.
+func (e *Estimator) AppendSojournBreakpoints(dst []float64, t0 float64, prev topology.LocalIndex) []float64 {
+	e.ensurePrev(prev, t0)
+	g := e.group(prev)
+	if g == nil {
+		return dst
+	}
+	start := len(dst)
+	for _, p := range g.pairs {
+		dst = append(dst, p.sojSorted...)
+	}
+	slices.Sort(dst[start:])
+	return dst
+}
