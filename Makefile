@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-json bench-sim golden fuzz chaos verify
+.PHONY: build test vet lint race bench bench-json bench-sim golden fuzz chaos soak soak-smoke verify
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,20 @@ fuzz:
 	$(GO) test -fuzz=FuzzPersistRoundTrip -fuzztime=30s ./internal/predict/
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=30s ./internal/signaling/
 	$(GO) test -fuzz=FuzzIncrementalBr -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzSnapshotDecode -fuzztime=30s ./internal/service/
+
+# soak-smoke is the CI-sized service soak: one full pass up the
+# internal/faults chaos ladder of crash-and-restart checkpoint cycles,
+# under the race detector, with exact intake conservation plus
+# goroutine-leak and heap-growth gates (internal/service/soak_test.go).
+soak-smoke:
+	$(GO) test -race -count=1 -run 'TestSoak' -v ./internal/service/
+
+# soak keeps climbing the ladder until the wall budget is spent:
+# `make soak` runs 60 s, `make soak CELLQOS_SOAK=10m` runs ten minutes.
+CELLQOS_SOAK ?= 60s
+soak:
+	CELLQOS_SOAK=$(CELLQOS_SOAK) $(GO) test -race -count=1 -run 'TestSoak' -v -timeout 0 ./internal/service/
 
 # chaos drives the distributed signaling plane through scripted
 # partitions, crashes and lossy links under the race detector; -count=2

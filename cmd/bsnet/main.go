@@ -9,6 +9,15 @@
 //	bsnet [-cells 10] [-mode mesh|star] [-requests 200] [-load 200] [-audit]
 //	bsnet -fault-drop 0.15 -call-timeout 25ms -audit
 //	bsnet -fault-partition 0 -fault-fallback guard -breaker-threshold 3
+//	bsnet -serve -state-dir /var/lib/bsnet -checkpoint-every 5s -audit
+//
+// With -serve the process becomes a long-running admission server
+// (internal/service): the drive loop runs until SIGINT/SIGTERM (or for
+// -serve-events events), periodically checkpointing every estimator's
+// hand-off history into -state-dir so a crashed process resumes where
+// it left off, and draining in-flight admissions before exiting. The
+// exit code distinguishes a clean drain (0) from a failed shutdown (1)
+// and a degraded run (3); see DESIGN.md §15.
 //
 // With -audit every base station's bandwidth ledger is verified against
 // the paper's conservation invariants (internal/audit) after the drive;
@@ -71,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		brkThreshold   = fs.Int("breaker-threshold", 0, "consecutive failures that open a link's circuit breaker (0 = off)")
 		brkCooldown    = fs.Duration("breaker-cooldown", 250*time.Millisecond, "breaker open→half-open cooldown")
 	)
+	sf := addServeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -85,6 +95,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintf(stderr, "bsnet: unknown -fault-fallback %q\n", *faultFallback)
 		return 2
+	}
+	if *sf.serve {
+		return runServe(sf, *cells, *seed, *doAudit, fallback, stdout, stderr)
 	}
 	faulty := *faultDrop > 0 || *faultCorrupt > 0 || *faultDelay > 0 || *faultPartition >= 0
 	var inj *injector
@@ -182,7 +195,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if n.Engine().UsedBandwidth()+bw > 100 {
 				break
 			}
-			n.Engine().AddConnection(id, core.ConnSpec{Min: bw, Prev: topology.LocalIndex(rng.IntN(deg+1))}, 60+rng.Float64()*30)
+			n.Engine().AddConnection(id, core.ConnSpec{Min: bw, Prev: topology.LocalIndex(rng.IntN(deg + 1))}, 60+rng.Float64()*30)
 		}
 	}
 

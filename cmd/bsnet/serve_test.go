@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cellqos/internal/clock"
+)
+
+// TestMain re-execs the test binary as a real bsnet process when the
+// helper variable is set: the SIGKILL crash-recovery test needs a
+// victim it can kill -9 without taking the test down with it.
+func TestMain(m *testing.M) {
+	if args := os.Getenv("BSNET_HELPER_ARGS"); args != "" {
+		os.Exit(run(strings.Fields(args), os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+func readServeReport(t *testing.T, path string) serveReport {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serveReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestServeSmokeBounded(t *testing.T) {
+	dir := t.TempDir()
+	report := filepath.Join(dir, "report.json")
+	var out bytes.Buffer
+	code := run([]string{
+		"-serve", "-cells", "4", "-serve-events", "200", "-pace", "0",
+		"-state-dir", filepath.Join(dir, "state"), "-serve-report", report, "-audit",
+	}, &out, &out)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, out.String())
+	}
+	rep := readServeReport(t, report)
+	if rep.Events != 200 || len(rep.Cells) != 4 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Offered != rep.Admitted+rep.Blocked+rep.Shed {
+		t.Fatalf("conservation: %+v", rep.Report)
+	}
+	if !strings.Contains(out.String(), "cold start") {
+		t.Fatalf("missing cold-start line:\n%s", out.String())
+	}
+}
+
+// TestServeCrashRecoverySIGKILL is the acceptance-criteria test with a
+// real crash: a bsnet server is SIGKILLed mid-drive after its first
+// durable checkpoint, a fresh process restores from the same state
+// directory and replays the full workload, and its final per-cell B_r
+// must match a never-crashed control to floating-point noise. The
+// estimator's stationary selection is translation-invariant and the
+// small -nquad cache turns over completely during the replay, so the
+// arbitrary kill point must not leave a trace in the reservations.
+func TestServeCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash test")
+	}
+	const events = "2000"
+	common := []string{"-serve", "-cells", "4", "-nquad", "8", "-seed", "7", "-step", "1", "-audit"}
+
+	// Control: one uninterrupted run.
+	ctrlReport := filepath.Join(t.TempDir(), "control.json")
+	var out bytes.Buffer
+	code := run(append(append([]string{}, common...),
+		"-serve-events", events, "-pace", "0", "-serve-report", ctrlReport), &out, &out)
+	if code != 0 {
+		t.Fatalf("control exit %d\n%s", code, out.String())
+	}
+	ctrl := readServeReport(t, ctrlReport)
+	if ctrl.Blocked != 0 {
+		// The B_r comparison assumes both runs admit every call (the
+		// ring is far under capacity); a blocked call would let the
+		// connection tables diverge for reasons other than the crash.
+		t.Fatalf("control blocked %d calls; load assumption broke", ctrl.Blocked)
+	}
+
+	// Victim: unbounded, checkpointing fast, killed without warning.
+	stateDir := filepath.Join(t.TempDir(), "state")
+	victim := exec.Command(os.Args[0])
+	victim.Env = append(os.Environ(), "BSNET_HELPER_ARGS="+strings.Join(append(append([]string{}, common...),
+		"-pace", "200us", "-checkpoint-every", "25ms", "-state-dir", stateDir), " "))
+	var victimOut bytes.Buffer
+	victim.Stdout, victim.Stderr = &victimOut, &victimOut
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Process.Kill()
+
+	// Wait for the first durable checkpoint, let a few more cycles
+	// land, then SIGKILL — no drain, no final flush.
+	w := clock.Wall{}
+	start := w.Now()
+	current := filepath.Join(stateDir, "checkpoint.cqsc")
+	for {
+		if _, err := os.Stat(current); err == nil {
+			break
+		}
+		if w.Since(start) > 10*time.Second {
+			t.Fatalf("victim wrote no checkpoint in 10s\n%s", victimOut.String())
+		}
+		w.Sleep(5 * time.Millisecond)
+	}
+	w.Sleep(80 * time.Millisecond)
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = victim.Wait() // SIGKILL: a non-zero wait status is the point
+
+	// Restart from the crashed state directory and replay the full
+	// workload in-process.
+	restReport := filepath.Join(stateDir, "report.json")
+	out.Reset()
+	code = run(append(append([]string{}, common...),
+		"-serve-events", events, "-pace", "0", "-state-dir", stateDir, "-serve-report", restReport), &out, &out)
+	// Clean, or degraded only because the kill landed between the
+	// current-file rotation renames and the restore fell back to .prev.
+	if code != 0 && code != 3 {
+		t.Fatalf("restored run exit %d\n%s", code, out.String())
+	}
+	rest := readServeReport(t, restReport)
+	if rest.RestoredFrom == "" || rest.RestoredSeq == 0 {
+		t.Fatalf("restart did not restore a checkpoint: %+v\n%s", rest.Report, out.String())
+	}
+	if code == 3 && rest.RestoredFrom != "prev" {
+		t.Fatalf("degraded exit without a prev-file restore: %+v", rest.Report)
+	}
+	if rest.Blocked != 0 {
+		t.Fatalf("restored run blocked %d calls; load assumption broke", rest.Blocked)
+	}
+	if rest.ResumeSimNow <= 0 {
+		t.Fatalf("resume sim time %v, want > 0 after a mid-run crash", rest.ResumeSimNow)
+	}
+
+	// Reconvergence: per-cell B_r within floating-point noise of the
+	// never-crashed control.
+	if len(rest.Cells) != len(ctrl.Cells) {
+		t.Fatalf("cell counts: %d vs %d", len(rest.Cells), len(ctrl.Cells))
+	}
+	for i := range ctrl.Cells {
+		if diff := math.Abs(rest.Cells[i].Br - ctrl.Cells[i].Br); diff > 1e-9 {
+			t.Fatalf("cell %d: restored B_r %v vs control %v (diff %v)",
+				i, rest.Cells[i].Br, ctrl.Cells[i].Br, diff)
+		}
+	}
+}

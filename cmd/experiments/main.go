@@ -25,9 +25,9 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
-	"time"
 
 	"cellqos/internal/audit"
+	"cellqos/internal/clock"
 	"cellqos/internal/experiments"
 	"cellqos/internal/runner"
 )
@@ -129,8 +129,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	wall := clock.Wall{}
 	for _, e := range todo {
-		start := time.Now()
+		start := wall.Now()
 		rep, err := e.Run(opt)
 		if err != nil {
 			fmt.Fprintf(stderr, "experiments: %s: %v\n", e.ID, err)
@@ -155,7 +156,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stdout, ch.Render())
 			}
 		}
-		fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", rep.ID, time.Since(start).Seconds())
+		fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", rep.ID, wall.Since(start).Seconds())
 	}
 	return 0
 }

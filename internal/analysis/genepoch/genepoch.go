@@ -54,7 +54,7 @@ var derivedMethods = map[string]bool{
 // against a recorded epoch, not a license to keep older state.
 var mutatorMethods = map[string]bool{
 	"Record": true, "ReadFrom": true, "SweepAt": true, "EvictBefore": true,
-	"EnsureCurrent": true,
+	"EnsureCurrent": true, "Reset": true, "Merge": true,
 }
 
 // estimatorReceiver reports whether the method's receiver is an

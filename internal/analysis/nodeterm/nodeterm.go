@@ -14,20 +14,22 @@ import (
 	"cellqos/internal/analysis"
 )
 
-// Analyzer flags wall-clock and ambient-entropy reads in the
-// deterministic packages.
+// Analyzer flags wall-clock and ambient-entropy reads: entropy rules
+// in the deterministic packages, wall-clock rules module-wide.
 var Analyzer = &analysis.Analyzer{
 	Name: "nodeterm",
-	Doc: "forbid time.Now, math/rand (v1) and the math/rand/v2 global source " +
-		"inside the deterministic simulation packages; simulation time and " +
-		"seeded per-purpose PCG streams are the only clocks and entropy",
+	Doc: "forbid wall-clock reads (time.Now, time.Since) everywhere but " +
+		"internal/clock, and math/rand (v1) plus the math/rand/v2 global " +
+		"source inside the deterministic simulation packages; simulation " +
+		"time, internal/clock, and seeded per-purpose PCG streams are the " +
+		"only approved clocks and entropy",
 	Run: run,
 }
 
-// scopePrefixes limits the check to the packages whose outputs must be
-// bit-reproducible from (config, seed) alone. CLIs, signaling (which
-// touches real sockets and deadlines) and the chaos harness legitimately
-// read the wall clock.
+// scopePrefixes limits the entropy checks to the packages whose outputs
+// must be bit-reproducible from (config, seed) alone. CLIs, signaling
+// (which touches real sockets and deadlines) and the chaos harness may
+// use ambient entropy for jitter.
 var scopePrefixes = []string{
 	"cellqos/internal/core",
 	"cellqos/internal/predict",
@@ -35,6 +37,26 @@ var scopePrefixes = []string{
 	"cellqos/internal/cellnet",
 	"cellqos/internal/runner",
 	"cellqos/internal/experiments",
+}
+
+// clockPackage is the single module package allowed to read the wall
+// clock directly. Everything else — CLIs, signaling, benchmarks,
+// external test packages included — goes through its Clock interface
+// (clock.Wall in production, clock.Manual in tests, clock.Bridge for
+// wall-derived simulation time), so every wall-time dependency in the
+// module is injectable and every direct read is grep-able in one file.
+const clockPackage = "cellqos/internal/clock"
+
+// wallClockExempt reports whether pkg may call time.Now/time.Since:
+// the clock package itself and its test variants.
+func wallClockExempt(path string) bool {
+	return strings.TrimSuffix(path, "_test") == clockPackage
+}
+
+// inModule limits the wall-clock rule to this module's packages (the
+// fixtures under testdata share the cellqos/ prefix).
+func inModule(path string) bool {
+	return path == "cellqos" || strings.HasPrefix(path, "cellqos/")
 }
 
 // globalRandV2 lists the math/rand/v2 top-level functions that draw
@@ -61,7 +83,10 @@ func inScope(path string) bool {
 }
 
 func run(pass *analysis.Pass) (any, error) {
-	if !inScope(pass.Pkg.Path()) {
+	path := pass.Pkg.Path()
+	entropyScope := inScope(path)
+	wallScope := inModule(path) && !wallClockExempt(path)
+	if !entropyScope && !wallScope {
 		return nil, nil
 	}
 	for _, file := range pass.Files {
@@ -82,13 +107,16 @@ func run(pass *analysis.Pass) (any, error) {
 				return true
 			}
 			switch pkgPath := obj.Pkg().Path(); {
-			case pkgPath == "time" && obj.Name() == "Now":
+			case wallScope && pkgPath == "time" && obj.Name() == "Now":
 				pass.Reportf(sel.Pos(),
-					"time.Now is wall clock: deterministic packages must take time from the simulation clock (sim.Scheduler) or event timestamps")
-			case pkgPath == "math/rand":
+					"time.Now is wall clock: deterministic code takes time from the simulation clock (sim.Scheduler) or event timestamps; everything else reads through internal/clock (clock.Wall, clock.Manual, clock.Bridge)")
+			case wallScope && pkgPath == "time" && obj.Name() == "Since":
+				pass.Reportf(sel.Pos(),
+					"time.Since is wall clock: measure elapsed time with clock.Clock.Since (internal/clock) so tests can drive it with clock.Manual")
+			case entropyScope && pkgPath == "math/rand":
 				pass.Reportf(sel.Pos(),
 					"math/rand (v1) is banned in deterministic packages: use an explicitly seeded math/rand/v2 PCG stream (rand.New(rand.NewPCG(seed, stream)))")
-			case pkgPath == "math/rand/v2" && globalRandV2[obj.Name()]:
+			case entropyScope && pkgPath == "math/rand/v2" && globalRandV2[obj.Name()]:
 				pass.Reportf(sel.Pos(),
 					"rand.%s draws from the process-global, randomly seeded source: use an explicitly seeded per-purpose PCG stream (rand.New(rand.NewPCG(seed, stream)))", obj.Name())
 			}

@@ -12,5 +12,6 @@ func TestNodeterm(t *testing.T) {
 		"cellqos/internal/sim",
 		"cellqos/internal/sim/shard",
 		"cellqos/internal/chaosharness",
+		"cellqos/internal/clock",
 	)
 }

@@ -1,7 +1,9 @@
-// Package chaosharness is outside nodeterm's deterministic scope
-// (only internal/{core,predict,sim,cellnet,runner,experiments} are
-// covered): wall-clock deadlines and ambient entropy are legitimate
-// here, so nothing in this file may be flagged.
+// Package chaosharness is outside nodeterm's *entropy* scope (only
+// internal/{core,predict,sim,cellnet,runner,experiments} must be
+// bit-reproducible, so ambient jitter entropy is legitimate here) but
+// inside the module-wide *wall-clock* scope: internal/clock is the
+// single approved wall-clock source, so even harness deadlines must
+// read through its Clock interface to stay drivable by clock.Manual.
 package chaosharness
 
 import (
@@ -9,6 +11,14 @@ import (
 	"time"
 )
 
-func deadline() time.Time { return time.Now().Add(5 * time.Second) }
+func deadline() time.Time {
+	return time.Now().Add(5 * time.Second) // want `time\.Now is wall clock`
+}
 
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since is wall clock`
+}
+
+// jitter draws ambient entropy — legitimate outside the deterministic
+// packages, so this line must not be flagged.
 func jitter() int { return rand.Intn(100) }

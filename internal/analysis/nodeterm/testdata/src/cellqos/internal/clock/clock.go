@@ -1,0 +1,17 @@
+// Package clock is a nodeterm fixture standing in for the real
+// cellqos/internal/clock: the one module package exempt from the
+// wall-clock rule, because it IS the approved wall-clock adapter.
+// Nothing in this file may be flagged.
+package clock
+
+import "time"
+
+// Wall reads the real wall clock — the only place in the module
+// allowed to do so directly.
+type Wall struct{}
+
+// Now returns the current wall time.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Since returns wall time elapsed since t.
+func (Wall) Since(t time.Time) time.Duration { return time.Since(t) }

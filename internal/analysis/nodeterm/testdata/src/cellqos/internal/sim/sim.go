@@ -24,6 +24,11 @@ func wallClock() float64 {
 
 var c = &Clock{}
 
+func wallElapsed(start time.Time) float64 {
+	// Elapsed-time measurement is as much a wall-clock read as Now.
+	return time.Since(start).Seconds() // want `time\.Since is wall clock`
+}
+
 func v1Rand() int {
 	// The regression shape: pre-PR-1 experiment code drew arrival
 	// jitter from math/rand's global source, so two runs with one seed

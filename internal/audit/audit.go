@@ -15,6 +15,7 @@
 package audit
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 
@@ -167,6 +168,53 @@ func (c *Checker) Eq5Cache(cell string, now float64, e *core.Engine) {
 			diff, hits, misses, rebuilds, advances, refreshes),
 		"materialized Eq. 5 view diverges from the from-scratch walk by %v (tolerance %v)",
 		diff, Eq5Tolerance)
+}
+
+// History verifies an engine's hand-off history after a checkpoint
+// restore: the estimator state a service resumed from disk must be a
+// fixed point of the persistence round trip. The restored engine is
+// re-serialized, decoded into a scratch engine with the same
+// configuration, and serialized again; any decode error or byte
+// difference means the restore left state WriteHistory cannot
+// faithfully represent (broken per-pair event order, a stray sample
+// outside the cache cap), which would corrupt the *next* checkpoint —
+// the failure would otherwise surface only after the following crash.
+// It also checks the restored clock: HistoryLastEvent must be finite,
+// non-negative, and not ahead of the service's resumed simulation time,
+// or every subsequent Record would panic on the event-order invariant.
+func (c *Checker) History(cell string, now float64, e *core.Engine) {
+	last := e.HistoryLastEvent()
+	snap := fmt.Sprintf("lastEvent=%v now=%v", last, now)
+	if math.IsNaN(last) || math.IsInf(last, 0) || last < 0 {
+		c.Failf("history-clock", cell, now, snap, "restored HistoryLastEvent = %v is not finite and non-negative", last)
+	}
+	if last > now {
+		c.Failf("history-clock", cell, now, snap,
+			"restored history's newest event %v is ahead of the resumed clock %v (Record would panic)", last, now)
+	}
+	var first bytes.Buffer
+	if _, err := e.WriteHistory(&first); err != nil {
+		c.Failf("history-rederivation", cell, now, snap, "re-serializing restored history: %v", err)
+	}
+	cfg := e.Config()
+	cfg.Lock = nil // the scratch engine is private to this check
+	scratch := core.NewEngine(cfg)
+	if _, err := scratch.RestoreHistory(bytes.NewReader(first.Bytes()), false); err != nil {
+		c.Failf("history-rederivation", cell, now, snap, "decoding re-serialized history: %v", err)
+	}
+	if got := scratch.HistoryLastEvent(); got != last {
+		c.Failf("history-rederivation", cell, now, snap,
+			"round trip moved HistoryLastEvent from %v to %v", last, got)
+	}
+	var second bytes.Buffer
+	if _, err := scratch.WriteHistory(&second); err != nil {
+		c.Failf("history-rederivation", cell, now, snap, "serializing round-tripped history: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		c.Failf("history-rederivation", cell, now,
+			fmt.Sprintf("%s first=%dB second=%dB", snap, first.Len(), second.Len()),
+			"restored history is not a persistence fixed point")
+	}
 }
 
 // Counters verifies counter consistency: a scope can never block more

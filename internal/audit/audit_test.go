@@ -1,11 +1,13 @@
 package audit
 
 import (
+	"bytes"
 	"math"
 	"strings"
 	"testing"
 
 	"cellqos/internal/core"
+	"cellqos/internal/predict"
 	"cellqos/internal/stats"
 )
 
@@ -167,4 +169,47 @@ func TestFailf(t *testing.T) {
 	if v.Detail != "links carry 12, paths need 10" || v.Snapshot != "snap" {
 		t.Errorf("Failf fields = %+v", v)
 	}
+}
+
+// restoredEngine builds an adaptive engine, checkpoints it, and
+// restores the checkpoint into a fresh engine — the state History is
+// designed to verify.
+func restoredEngine(t *testing.T, lastEvent float64) *core.Engine {
+	t.Helper()
+	cfg := core.Config{
+		Capacity: 100, Degree: 2, Policy: core.AC3, PHDTarget: 0.01, TStart: 1,
+		Estimation: predict.StationaryConfig(),
+	}
+	src := core.NewEngine(cfg)
+	for i := 0; i < 10; i++ {
+		src.RecordDeparture(predict.Quadruplet{
+			Event: lastEvent * float64(i) / 9, Prev: 0, Next: 1, Sojourn: 3,
+		})
+	}
+	var buf bytes.Buffer
+	if _, err := src.WriteHistory(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := core.NewEngine(cfg)
+	if _, err := dst.RestoreHistory(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+func TestHistoryPassesOnCleanRestore(t *testing.T) {
+	var ck Checker
+	ck.History("cell 0", 100, restoredEngine(t, 90))
+	// An engine without an estimator trivially passes too.
+	ck.History("cell 1", 100, core.NewEngine(core.Config{Capacity: 10, Degree: 1, Policy: core.None}))
+}
+
+func TestHistoryRejectsFutureClock(t *testing.T) {
+	var ck Checker
+	e := restoredEngine(t, 90)
+	wantViolation(t, "history-clock", func() {
+		// The service resumed its clock *behind* the restored history:
+		// the very next Record would panic on the event-order invariant.
+		ck.History("cell 0", 50, e)
+	})
 }

@@ -13,16 +13,17 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"cellqos/internal/audit"
+	"cellqos/internal/clock"
 	"cellqos/internal/core"
 	"cellqos/internal/faults"
 	"cellqos/internal/predict"
 	"cellqos/internal/signaling"
+	"cellqos/internal/testleak"
 	"cellqos/internal/topology"
 )
 
@@ -45,7 +46,7 @@ func engineConfig() core.Config {
 func seedRing(nodes []*signaling.BSNode) {
 	for i, n := range nodes {
 		n.Engine().RecordDeparture(predict.Quadruplet{Event: 0, Prev: topology.Self, Next: 1, Sojourn: 10.5})
-		n.Engine().AddConnection(core.ConnID(i+1), core.ConnSpec{Min: 1+i, Prev: topology.Self}, 0)
+		n.Engine().AddConnection(core.ConnID(i+1), core.ConnSpec{Min: 1 + i, Prev: topology.Self}, 0)
 	}
 }
 
@@ -129,27 +130,6 @@ func checkLedgers(t *testing.T, nodes []*signaling.BSNode, now float64) {
 	}
 }
 
-// checkGoroutines waits for the goroutine count to return to the
-// pre-test baseline (read pumps, serve goroutines and stuck relays must
-// all unwind on Close).
-func checkGoroutines(t *testing.T, before int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		n := runtime.NumGoroutine()
-		if n <= before {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			t.Fatalf("goroutine leak: %d before, %d after teardown\n%s",
-				before, n, buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-}
-
 func eq(a, b []float64) bool {
 	for i := range a {
 		if math.Abs(a[i]-b[i]) > 1e-12 {
@@ -166,7 +146,7 @@ func eq(a, b []float64) bool {
 func TestChaosMeshPartitionHealReconverges(t *testing.T) {
 	top := topology.Ring(5)
 	want := controlBr(t, top)
-	goroutines := runtime.NumGoroutine()
+	defer testleak.Check(t)()
 
 	nodes := ringNodes(top)
 	seedRing(nodes)
@@ -238,7 +218,6 @@ func TestChaosMeshPartitionHealReconverges(t *testing.T) {
 
 	checkLedgers(t, nodes, 10)
 	closeAll(nodes)
-	checkGoroutines(t, goroutines)
 }
 
 // TestChaosMeshBreakerOpensAndRecovers drives a partitioned edge into
@@ -247,7 +226,7 @@ func TestChaosMeshPartitionHealReconverges(t *testing.T) {
 func TestChaosMeshBreakerOpensAndRecovers(t *testing.T) {
 	top := topology.Ring(5)
 	want := controlBr(t, top)
-	goroutines := runtime.NumGoroutine()
+	defer testleak.Check(t)()
 
 	nodes := ringNodes(top)
 	seedRing(nodes)
@@ -281,9 +260,10 @@ func TestChaosMeshBreakerOpensAndRecovers(t *testing.T) {
 	}
 	// While open, the dark neighbor is skipped without burning a
 	// timeout; B_r still holds via the decay fallback.
-	start := time.Now()
+	wall := clock.Wall{}
+	start := wall.Now()
 	br := node0.Engine().ComputeTargetReservation(10, node0.Peers())
-	if d := time.Since(start); d > cooldown {
+	if d := wall.Since(start); d > cooldown {
 		t.Fatalf("open-breaker computation took %v, want fail-fast", d)
 	}
 	if math.Abs(br-want[0]) > 1e-12 {
@@ -314,7 +294,6 @@ func TestChaosMeshBreakerOpensAndRecovers(t *testing.T) {
 
 	checkLedgers(t, nodes, 10)
 	closeAll(nodes)
-	checkGoroutines(t, goroutines)
 }
 
 // TestChaosMeshCrashReconnect crashes a link outright (connection
@@ -324,7 +303,7 @@ func TestChaosMeshBreakerOpensAndRecovers(t *testing.T) {
 func TestChaosMeshCrashReconnect(t *testing.T) {
 	top := topology.Ring(5)
 	want := controlBr(t, top)
-	goroutines := runtime.NumGoroutine()
+	defer testleak.Check(t)()
 
 	nodes := ringNodes(top)
 	seedRing(nodes)
@@ -375,7 +354,6 @@ func TestChaosMeshCrashReconnect(t *testing.T) {
 
 	checkLedgers(t, nodes, 10)
 	closeAll(nodes)
-	checkGoroutines(t, goroutines)
 }
 
 // TestChaosStarPartitionHeal runs the Fig. 1(a) star deployment: one
@@ -383,7 +361,7 @@ func TestChaosMeshCrashReconnect(t *testing.T) {
 // with exact counts (including MSC-relayed ones from other cells),
 // and after healing the star reconverges to the control values.
 func TestChaosStarPartitionHeal(t *testing.T) {
-	goroutines := runtime.NumGoroutine()
+	defer testleak.Check(t)()
 	top := topology.Line(3)
 	mk := func() []*signaling.BSNode {
 		nodes := make([]*signaling.BSNode, 3)
@@ -455,7 +433,6 @@ func TestChaosStarPartitionHeal(t *testing.T) {
 	checkLedgers(t, nodes, 10)
 	closeAll(nodes)
 	msc.Close()
-	checkGoroutines(t, goroutines)
 }
 
 // TestChaosMeshLossySoak hammers a 30%-loss mesh with concurrent
@@ -466,7 +443,7 @@ func TestChaosStarPartitionHeal(t *testing.T) {
 func TestChaosMeshLossySoak(t *testing.T) {
 	top := topology.Ring(5)
 	want := controlBr(t, top)
-	goroutines := runtime.NumGoroutine()
+	defer testleak.Check(t)()
 
 	nodes := ringNodes(top)
 	seedRing(nodes)
@@ -520,5 +497,4 @@ func TestChaosMeshLossySoak(t *testing.T) {
 
 	checkLedgers(t, nodes, 10)
 	closeAll(nodes)
-	checkGoroutines(t, goroutines)
 }

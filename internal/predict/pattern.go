@@ -85,6 +85,22 @@ func (ps *PatternSet) Estimator(t float64) *Estimator {
 // ByClass returns the estimator for an explicit day class.
 func (ps *PatternSet) ByClass(c DayClass) *Estimator { return ps.ests[c] }
 
+// Classes returns the number of day classes the set maintains — the
+// count a serializer framing one stream per class must write.
+func (ps *PatternSet) Classes() int { return int(numDayClasses) }
+
+// LastEvent returns the newest event time recorded across all classes,
+// zero when every estimator is empty.
+func (ps *PatternSet) LastEvent() float64 {
+	last := 0.0
+	for _, e := range ps.ests {
+		if le := e.LastEvent(); le > last {
+			last = le
+		}
+	}
+	return last
+}
+
 // Record routes a quadruplet to the estimator of its event time's class.
 func (ps *PatternSet) Record(q Quadruplet) {
 	ps.Estimator(q.Event).Record(q)

@@ -308,6 +308,27 @@ func (e *Estimator) Config() Config { return e.cfg }
 // Recorded returns the number of quadruplets ever recorded.
 func (e *Estimator) Recorded() uint64 { return e.recorded }
 
+// LastEvent returns the event time of the newest quadruplet ever
+// recorded (or restored), zero when there is none. A service restoring
+// from a checkpoint resumes its simulation clock at or after this
+// instant so Record's event-order invariant holds across the restart.
+func (e *Estimator) LastEvent() float64 { return e.lastEvent }
+
+// Reset discards all recorded history and counters, returning the
+// estimator to its freshly-constructed state with the same
+// configuration. The generation advances so generation-keyed caches
+// invalidate; it never rolls back. Reset-then-ReadFrom is the
+// replace-on-restore mode for an estimator that already holds samples.
+func (e *Estimator) Reset() {
+	e.prevs = nil
+	e.allPairs = nil
+	e.allKeys = nil
+	e.recorded = 0
+	e.evicted = 0
+	e.lastEvent = 0
+	e.gen++
+}
+
 // Evicted returns the number of quadruplets dropped by cache management.
 func (e *Estimator) Evicted() uint64 { return e.evicted }
 

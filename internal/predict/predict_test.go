@@ -506,6 +506,29 @@ func TestPatternSetWeekendPeriodStretched(t *testing.T) {
 	}
 }
 
+// TestPatternSetClassesAndLastEvent pins the serializer-facing
+// accessors: Classes frames the per-class checkpoint streams, and
+// LastEvent is the newest event across all classes (the instant a
+// restored service resumes its simulation clock from).
+func TestPatternSetClassesAndLastEvent(t *testing.T) {
+	ps := NewPatternSet(DailyConfig(), WeekCalendar{FirstWeekendDay: 0})
+	if got := ps.Classes(); got != 2 {
+		t.Fatalf("Classes = %d, want 2", got)
+	}
+	if got := ps.LastEvent(); got != 0 {
+		t.Fatalf("empty LastEvent = %v, want 0", got)
+	}
+	// Day 0 is a weekend under FirstWeekendDay 0; day 2 is a weekday.
+	ps.Record(Quadruplet{Event: 3600, Prev: 0, Next: 1, Sojourn: 5})
+	ps.Record(Quadruplet{Event: 2*86400 + 100, Prev: 0, Next: 1, Sojourn: 5})
+	if got := ps.LastEvent(); got != 2*86400+100 {
+		t.Fatalf("LastEvent = %v, want the weekday sample's time", got)
+	}
+	if got := ps.ByClass(Weekend).LastEvent(); got != 3600 {
+		t.Fatalf("weekend LastEvent = %v, want 3600", got)
+	}
+}
+
 // TestGenerationEpochs pins the cache-epoch contract: Generation moves
 // exactly when the selection backing queries may have changed — Record,
 // an eviction that drops samples, and index rebuilds (including lazy

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"cellqos/internal/cellnet"
+	"cellqos/internal/clock"
 )
 
 // Scenario is one declarative simulation point.
@@ -249,8 +250,10 @@ func (r *Runner) runPoint(ctx context.Context, p point, i int) (res PointResult)
 	}
 	// Wall-clock here feeds only PointResult.Wall (progress sinks and
 	// operator diagnostics), never Result or Report bytes — the golden
-	// corpus stays byte-identical whatever this reads.
-	start := time.Now() //cellqos:allow nodeterm wall-clock is diagnostics-only (PointResult.Wall)
+	// corpus stays byte-identical whatever this reads. Read through
+	// internal/clock, the module's one approved wall-clock source.
+	wall := clock.Wall{}
+	start := wall.Now()
 	n, err := cellnet.New(p.cfg)
 	if err != nil {
 		res.Err = fmt.Errorf("runner: %s: %w", p.key, err)
@@ -273,7 +276,7 @@ func (r *Runner) runPoint(ctx context.Context, p point, i int) (res PointResult)
 	}
 	res.Result = n.Snapshot()
 	res.Events = n.EventsFired()
-	res.Wall = time.Since(start)
+	res.Wall = wall.Since(start)
 	if p.post != nil {
 		res.Extra = p.post(n, res.Result)
 	}

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustSave(t *testing.T, ck *Checkpointer, simNow float64, payload string) {
+	t.Helper()
+	if err := ck.Save(&Snapshot{SimNow: simNow, Payload: []byte(payload)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
+	ck, err := NewCheckpointer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSave(t, ck, 42.5, "history A")
+	snap, source, err := ck.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if source != "current" {
+		t.Fatalf("source = %q, want current", source)
+	}
+	if snap.SimNow != 42.5 || snap.Seq != 1 || !bytes.Equal(snap.Payload, []byte("history A")) {
+		t.Fatalf("loaded %+v", snap)
+	}
+}
+
+func TestCheckpointRotatesPrevious(t *testing.T) {
+	ck, err := NewCheckpointer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSave(t, ck, 1, "first")
+	mustSave(t, ck, 2, "second")
+
+	snap, _, err := ck.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(snap.Payload) != "second" || snap.Seq != 2 {
+		t.Fatalf("current = %+v", snap)
+	}
+	prev, err := loadFile(filepath.Join(ck.Dir(), checkpointPrev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(prev.Payload) != "first" || prev.Seq != 1 {
+		t.Fatalf("prev = %+v", prev)
+	}
+	// The temp file never survives a completed Save.
+	if _, err := os.Stat(filepath.Join(ck.Dir(), checkpointTmp)); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+// corruptFile flips one bit in the middle of a file on disk.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointFallsBackToPrevOnCorruptCurrent(t *testing.T) {
+	ck, err := NewCheckpointer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSave(t, ck, 1, "first")
+	mustSave(t, ck, 2, "second")
+	corruptFile(t, ck.CurrentPath())
+
+	snap, source, err := ck.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if source != "prev" {
+		t.Fatalf("source = %q, want prev", source)
+	}
+	if string(snap.Payload) != "first" {
+		t.Fatalf("fallback payload = %q", snap.Payload)
+	}
+}
+
+func TestCheckpointFallsBackToPrevOnTruncatedCurrent(t *testing.T) {
+	ck, err := NewCheckpointer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSave(t, ck, 1, "first")
+	mustSave(t, ck, 2, "second")
+	data, err := os.ReadFile(ck.CurrentPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ck.CurrentPath(), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, source, err := ck.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if source != "prev" || string(snap.Payload) != "first" {
+		t.Fatalf("source = %q, payload = %q", source, snap.Payload)
+	}
+}
+
+func TestCheckpointColdStart(t *testing.T) {
+	ck, err := NewCheckpointer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, source, err := ck.Load()
+	if snap != nil || source != "" || err != nil {
+		t.Fatalf("cold start: snap=%v source=%q err=%v", snap, source, err)
+	}
+}
+
+// TestCheckpointBothCorruptIsAnError: durable state existed and none of
+// it is readable — that must not masquerade as a cold start.
+func TestCheckpointBothCorruptIsAnError(t *testing.T) {
+	ck, err := NewCheckpointer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSave(t, ck, 1, "first")
+	mustSave(t, ck, 2, "second")
+	corruptFile(t, ck.CurrentPath())
+	corruptFile(t, filepath.Join(ck.Dir(), checkpointPrev))
+
+	if _, _, err := ck.Load(); err == nil {
+		t.Fatal("both files corrupt, Load succeeded")
+	}
+}
+
+// TestCheckpointSeqAdoption: a restarted process continues the sequence
+// instead of numbering its checkpoints from 1 again.
+func TestCheckpointSeqAdoption(t *testing.T) {
+	dir := t.TempDir()
+	ck1, err := NewCheckpointer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSave(t, ck1, 1, "first")
+	mustSave(t, ck1, 2, "second")
+
+	ck2, err := NewCheckpointer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ck2.Load(); err != nil {
+		t.Fatal(err)
+	}
+	s := &Snapshot{SimNow: 3, Payload: []byte("third")}
+	if err := ck2.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Seq != 3 {
+		t.Fatalf("post-restore Seq = %d, want 3", s.Seq)
+	}
+}

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"cellqos/internal/clock"
+)
+
+// Drainer separates intake from in-flight work so shutdown can first
+// stop accepting and then wait — bounded — for the work already
+// accepted. Admission jobs bracket themselves with Enter/Exit; Drain
+// flips the intake gate and blocks until the in-flight count reaches
+// zero or the timeout passes.
+type Drainer struct {
+	mu       sync.Mutex
+	inflight int
+	draining bool
+	idle     chan struct{}
+	closed   bool
+}
+
+// NewDrainer builds a Drainer accepting work.
+func NewDrainer() *Drainer {
+	return &Drainer{idle: make(chan struct{})}
+}
+
+// Enter registers one unit of in-flight work; false means the drainer
+// is already draining and the work must be rejected.
+func (d *Drainer) Enter() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		return false
+	}
+	d.inflight++
+	return true
+}
+
+// Exit retires one unit of in-flight work.
+func (d *Drainer) Exit() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.inflight--
+	if d.inflight < 0 {
+		panic("service: Drainer.Exit without matching Enter")
+	}
+	d.signalIfIdle()
+}
+
+// Inflight returns the current in-flight count.
+func (d *Drainer) Inflight() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inflight
+}
+
+// signalIfIdle closes the idle channel once drained; callers hold mu.
+func (d *Drainer) signalIfIdle() {
+	if d.draining && d.inflight == 0 && !d.closed {
+		d.closed = true
+		close(d.idle)
+	}
+}
+
+// drainPoll bounds the latency between a straggler's Exit and Drain
+// noticing the timeout; the idle channel delivers the common
+// fully-drained case without polling at all.
+const drainPoll = time.Millisecond
+
+// Drain stops intake and waits until in-flight work reaches zero,
+// returning false if the timeout passes first. Time is measured on the
+// supplied clock (nil = wall), so a clock.Manual drains at test speed.
+// Drain is idempotent; intake never reopens.
+func (d *Drainer) Drain(c clock.Clock, timeout time.Duration) bool {
+	if c == nil {
+		c = clock.Wall{}
+	}
+	d.mu.Lock()
+	d.draining = true
+	d.signalIfIdle()
+	d.mu.Unlock()
+	start := c.Now()
+	for {
+		select {
+		case <-d.idle:
+			return true
+		default:
+		}
+		if c.Since(start) >= timeout {
+			return false
+		}
+		c.Sleep(drainPoll)
+	}
+}

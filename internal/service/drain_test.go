@@ -1,0 +1,68 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"cellqos/internal/clock"
+	"cellqos/internal/testleak"
+)
+
+func TestDrainerImmediateWhenIdle(t *testing.T) {
+	d := NewDrainer()
+	if !d.Drain(clock.NewManual(time.Unix(0, 0)), time.Second) {
+		t.Fatal("idle drainer did not drain")
+	}
+}
+
+func TestDrainerWaitsForStraggler(t *testing.T) {
+	defer testleak.Check(t)()
+	d := NewDrainer()
+	if !d.Enter() {
+		t.Fatal("Enter rejected before drain")
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		d.Exit()
+	}()
+	// Wall clock: the straggler finishes in real time, well inside the
+	// timeout; the outcome is deterministic even though the latency
+	// is not.
+	if !d.Drain(nil, 5*time.Second) {
+		t.Fatal("drain timed out waiting for a straggler that exited")
+	}
+	if d.Inflight() != 0 {
+		t.Fatalf("inflight = %d after drain", d.Inflight())
+	}
+}
+
+func TestDrainerTimesOut(t *testing.T) {
+	d := NewDrainer()
+	d.Enter() // never exits
+	mc := clock.NewManual(time.Unix(0, 0))
+	if d.Drain(mc, 100*time.Millisecond) {
+		t.Fatal("drain reported success with work still in flight")
+	}
+	if d.Inflight() != 1 {
+		t.Fatalf("inflight = %d, want 1", d.Inflight())
+	}
+}
+
+func TestDrainerRejectsEnterAfterDrain(t *testing.T) {
+	d := NewDrainer()
+	if !d.Drain(clock.NewManual(time.Unix(0, 0)), time.Second) {
+		t.Fatal("idle drain failed")
+	}
+	if d.Enter() {
+		t.Fatal("Enter accepted after drain")
+	}
+}
+
+func TestDrainerExitWithoutEnterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced Exit did not panic")
+		}
+	}()
+	NewDrainer().Exit()
+}

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func testSnapshot() *Snapshot {
+	return &Snapshot{SimNow: 86400.25, Seq: 7, Payload: []byte("estimator history bytes")}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := testSnapshot()
+	got, err := DecodeSnapshot(src.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SimNow != src.SimNow || got.Seq != src.Seq || !bytes.Equal(got.Payload, src.Payload) {
+		t.Fatalf("round trip: got %+v, want %+v", got, src)
+	}
+}
+
+func TestSnapshotEmptyPayloadRoundTrip(t *testing.T) {
+	src := &Snapshot{SimNow: 0, Seq: 1}
+	got, err := DecodeSnapshot(src.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SimNow != 0 || got.Seq != 1 || len(got.Payload) != 0 {
+		t.Fatalf("round trip: got %+v", got)
+	}
+}
+
+// TestSnapshotRejectsEveryBitFlip is the exhaustive single-bit-flip
+// property: flipping any one bit anywhere in a valid frame must make
+// DecodeSnapshot reject it. Flips in the magic/version fail the
+// equality checks, flips in the stored CRC no longer match the body,
+// and flips anywhere in the body (including the declared payload
+// length) are caught by CRC-32, which detects all single-bit errors.
+func TestSnapshotRejectsEveryBitFlip(t *testing.T) {
+	frame := testSnapshot().Encode()
+	for i := range frame {
+		for b := 0; b < 8; b++ {
+			mut := append([]byte(nil), frame...)
+			mut[i] ^= 1 << b
+			if _, err := DecodeSnapshot(mut); err == nil {
+				t.Fatalf("flip of byte %d bit %d decoded successfully", i, b)
+			}
+		}
+	}
+}
+
+func TestSnapshotRejectsTruncation(t *testing.T) {
+	frame := testSnapshot().Encode()
+	for n := 0; n < len(frame); n++ {
+		if _, err := DecodeSnapshot(frame[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded successfully", n, len(frame))
+		}
+	}
+}
+
+func TestSnapshotRejectsTrailingBytes(t *testing.T) {
+	frame := testSnapshot().Encode()
+	for _, extra := range [][]byte{{0}, {1, 2, 3, 4}} {
+		if _, err := DecodeSnapshot(append(append([]byte(nil), frame...), extra...)); err == nil {
+			t.Fatalf("%d trailing bytes decoded successfully", len(extra))
+		}
+	}
+}
+
+// TestSnapshotRejectsBadSimNow: a frame can be internally consistent
+// (valid CRC) yet carry a nonsense clock; Decode still rejects it.
+func TestSnapshotRejectsBadSimNow(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1} {
+		frame := (&Snapshot{SimNow: bad, Seq: 1, Payload: []byte("p")}).Encode()
+		if _, err := DecodeSnapshot(frame); err == nil {
+			t.Fatalf("SimNow %v decoded successfully", bad)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package signaling
 import (
 	"sync"
 	"time"
+
+	"cellqos/internal/clock"
 )
 
 // BreakerState is a circuit breaker's position.
@@ -63,7 +65,7 @@ func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 	if cooldown <= 0 {
 		cooldown = 100 * time.Millisecond
 	}
-	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: clock.Wall{}.Now}
 }
 
 // SetClock replaces the wall clock (tests drive state transitions without

@@ -8,8 +8,10 @@ import (
 	"testing"
 	"time"
 
+	"cellqos/internal/clock"
 	"cellqos/internal/core"
 	"cellqos/internal/predict"
+	"cellqos/internal/testleak"
 	"cellqos/internal/topology"
 )
 
@@ -163,6 +165,9 @@ func resilienceNode(t *testing.T, handler Handler) (*BSNode, *Peer) {
 // attempts miss their deadline, the third lands, and the link's Retries
 // and Timeouts counters record exactly that.
 func TestCallRetriesUntilSuccess(t *testing.T) {
+	// resilienceNode tears down via t.Cleanup, so the leak check must
+	// also run at cleanup time (cleanups run LIFO: close, then verify).
+	testleak.CheckCleanup(t)
 	var calls atomic.Int32
 	n, _ := resilienceNode(t, func(req Message) Message {
 		if calls.Add(1) < 3 {
@@ -192,6 +197,8 @@ func TestCallRetriesUntilSuccess(t *testing.T) {
 // threshold of timed-out calls the breaker opens and further queries
 // fail immediately without burning another deadline.
 func TestBreakerFailsFast(t *testing.T) {
+	testleak.CheckCleanup(t) // resilienceNode closes via t.Cleanup
+
 	block := make(chan struct{})
 	n, _ := resilienceNode(t, func(req Message) Message {
 		<-block
@@ -210,11 +217,12 @@ func TestBreakerFailsFast(t *testing.T) {
 	if s := link.Breaker().State(); s != BreakerOpen {
 		t.Fatalf("breaker state = %v, want open", s)
 	}
-	start := time.Now()
+	wall := clock.Wall{}
+	start := wall.Now()
 	if _, ok := n.Peers().OutgoingReservation(1, 0, 1); ok {
 		t.Fatal("call through an open breaker succeeded")
 	}
-	if d := time.Since(start); d > 20*time.Millisecond {
+	if d := wall.Since(start); d > 20*time.Millisecond {
 		t.Fatalf("open-breaker call took %v, want fail-fast", d)
 	}
 	if to := link.Stats().Timeouts.Load(); to != 2 {
@@ -231,6 +239,7 @@ func TestBreakerFailsFast(t *testing.T) {
 // TestReconnectHookRestoresLink kills the only link to a neighbor, then
 // verifies the reconnect hook transparently restores service.
 func TestReconnectHookRestoresLink(t *testing.T) {
+	defer testleak.Check(t)()
 	top := topology.Line(2)
 	mk := func(id topology.CellID) *BSNode {
 		return NewBSNode(id, top, core.Config{

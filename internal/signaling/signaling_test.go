@@ -9,8 +9,10 @@ import (
 	"testing/quick"
 	"time"
 
+	"cellqos/internal/clock"
 	"cellqos/internal/core"
 	"cellqos/internal/predict"
+	"cellqos/internal/testleak"
 	"cellqos/internal/topology"
 )
 
@@ -116,6 +118,7 @@ func TestPeerCallEcho(t *testing.T) {
 }
 
 func TestPeerConcurrentBidirectionalCalls(t *testing.T) {
+	defer testleak.Check(t)()
 	c1, c2 := net.Pipe()
 	mk := func(conn net.Conn) *Peer {
 		return NewPeer(conn, func(req Message) Message {
@@ -252,6 +255,7 @@ func threeNodeLine(t *testing.T, policy core.Policy) []*BSNode {
 }
 
 func TestMeshDistributedReservation(t *testing.T) {
+	defer testleak.Check(t)()
 	nodes := threeNodeLine(t, core.AC1)
 	ConnectMesh(nodes)
 	defer func() {
@@ -296,6 +300,7 @@ func TestMeshDistributedAC2Admission(t *testing.T) {
 }
 
 func TestStarDistributedAC2Admission(t *testing.T) {
+	defer testleak.Check(t)()
 	nodes := threeNodeLine(t, core.AC2)
 	msc := NewMSC()
 	ConnectStar(msc, nodes)
@@ -391,6 +396,7 @@ func TestRemotePeersConservativeDefaultsAfterClose(t *testing.T) {
 }
 
 func TestTCPLoopbackQuery(t *testing.T) {
+	defer testleak.Check(t)()
 	top := topology.Line(2)
 	mk := func(id topology.CellID) *BSNode {
 		return NewBSNode(id, top, core.Config{
@@ -455,12 +461,13 @@ func TestCallTimeout(t *testing.T) {
 	client := NewPeer(c1, nil)
 	defer client.Close()
 
-	start := time.Now()
+	wall := clock.Wall{}
+	start := wall.Now()
 	_, err := client.CallTimeout(Message{Type: MsgSnapshot}, 50*time.Millisecond)
 	if err != ErrTimeout {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
-	if time.Since(start) > 2*time.Second {
+	if wall.Since(start) > 2*time.Second {
 		t.Fatal("timeout took far too long")
 	}
 }
@@ -478,6 +485,7 @@ func TestCallTimeoutZeroIsPlainCall(t *testing.T) {
 }
 
 func TestCallTimeoutLateResponseDropped(t *testing.T) {
+	defer testleak.Check(t)()
 	c1, c2 := net.Pipe()
 	release := make(chan struct{})
 	server := NewPeer(c2, func(req Message) Message {

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"cellqos/internal/sim"
+	"cellqos/internal/testleak"
 )
 
 // TestTieBreakTimeShardSeq pins the kernel's total order at identical
@@ -106,6 +107,7 @@ func TestSerialRunUntilSemantics(t *testing.T) {
 }
 
 func TestWindowedSendDeliversAtBarrier(t *testing.T) {
+	defer testleak.Check(t)()
 	k := New(Config{Shards: 2, Lookahead: 1})
 	var mu sync.Mutex
 	var got []string
@@ -172,6 +174,7 @@ func TestWindowedSameTimeMessagesOrderedByKey(t *testing.T) {
 }
 
 func TestWindowedChunkedRunMatchesSingleRun(t *testing.T) {
+	defer testleak.Check(t)()
 	// The window grid is anchored at 0, so chunked RunUntil calls and a
 	// single call produce the same barriers and the same firing order.
 	build := func() (*Kernel, *[]float64, *sync.Mutex) {
@@ -205,6 +208,7 @@ func TestWindowedChunkedRunMatchesSingleRun(t *testing.T) {
 }
 
 func TestAtBarrierQuiescentAndOrdered(t *testing.T) {
+	defer testleak.Check(t)()
 	k := New(Config{Shards: 2, Lookahead: 1})
 	var barriers []float64
 	k.AtBarrier(func(now float64) {

@@ -1,0 +1,164 @@
+// Package testleak is the repo's reusable goroutine-leak gate. It
+// generalizes the snapshot-and-diff check the chaos suite grew in PR 3:
+// record the set of live goroutines before a test body runs, and after
+// teardown poll (goroutine exits are asynchronous — read pumps and
+// serve goroutines unwind after Close returns) until every goroutine
+// created during the test has exited or a deadline passes. On failure
+// the report contains only the leaked goroutines' stacks, not the whole
+// process dump, so the culprit is the first thing in the log.
+//
+// Usage, first line of a test (or subtest) that spawns goroutines:
+//
+//	defer testleak.Check(t)()
+//
+// or, to gate at cleanup time (after parallel subtests finish):
+//
+//	testleak.CheckCleanup(t)
+package testleak
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"cellqos/internal/clock"
+)
+
+// deadline bounds how long Check waits for stragglers to unwind.
+const deadline = 5 * time.Second
+
+// Check snapshots the live goroutines and returns the verification
+// func. Call it as `defer testleak.Check(t)()` so verification runs at
+// the end of the enclosing function.
+func Check(t testing.TB) func() {
+	t.Helper()
+	before := goroutineIDs()
+	return func() {
+		t.Helper()
+		verify(t, before)
+	}
+}
+
+// CheckCleanup registers the verification with t.Cleanup: the snapshot
+// is taken now, the check runs after the test (and its subtests and
+// earlier cleanups) complete.
+func CheckCleanup(t testing.TB) {
+	t.Helper()
+	before := goroutineIDs()
+	t.Cleanup(func() { verify(t, before) })
+}
+
+// verify polls until no goroutine outside the baseline remains, then
+// fails with the stack diff if the deadline passes first.
+func verify(t testing.TB, before map[string]bool) {
+	t.Helper()
+	w := clock.Wall{}
+	start := w.Now()
+	var leaked []string
+	for {
+		runtime.GC() // finalizer-driven teardown (e.g. pollers) needs a nudge
+		leaked = diff(before)
+		if len(leaked) == 0 {
+			return
+		}
+		if w.Since(start) > deadline {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "goroutine leak: %d goroutine(s) survived teardown:\n", len(leaked))
+	for _, g := range leaked {
+		b.WriteString(g)
+		b.WriteString("\n")
+	}
+	t.Fatal(b.String())
+}
+
+// diff returns the stacks of goroutines not present in the baseline,
+// excluding the caller's own goroutine and the runtime's test helpers.
+func diff(before map[string]bool) []string {
+	var leaked []string
+	for _, g := range goroutines() {
+		id := goroutineID(g)
+		if id == "" || before[id] {
+			continue
+		}
+		if ignorable(g) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+// goroutineIDs returns the IDs of all currently live goroutines.
+func goroutineIDs() map[string]bool {
+	ids := make(map[string]bool)
+	for _, g := range goroutines() {
+		if id := goroutineID(g); id != "" {
+			ids[id] = true
+		}
+	}
+	return ids
+}
+
+// goroutines captures one stack record per live goroutine.
+func goroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for _, g := range bytes.Split(buf, []byte("\n\n")) {
+		if len(g) > 0 {
+			out = append(out, string(g))
+		}
+	}
+	return out
+}
+
+// goroutineID extracts the "goroutine N" prefix that uniquely names a
+// goroutine for the process's lifetime.
+func goroutineID(stack string) string {
+	if !strings.HasPrefix(stack, "goroutine ") {
+		return ""
+	}
+	end := strings.IndexByte(stack, '[')
+	if end < 0 {
+		return ""
+	}
+	return strings.TrimSpace(stack[:end])
+}
+
+// ignorable filters goroutines that come and go on the runtime's or the
+// testing package's own schedule and are not leaks: the current
+// goroutine running the check, testing's test runners (a parallel
+// subtest's tRunner parks after the snapshot), and runtime-internal
+// helpers like GC background workers.
+func ignorable(stack string) bool {
+	for _, frag := range []string{
+		"testleak.verify",    // the checking goroutine itself
+		"testing.tRunner",    // test runners parked between phases
+		"testing.(*T).Run",   // ditto
+		"runtime.gc",         // GC helper goroutines
+		"runtime.bgsweep",    // background sweeper
+		"runtime.bgscavenge", // background scavenger
+		"runtime.forcegchelper",
+		"os/signal.signal_recv", // signal handling goroutine (lazily started)
+		"os/signal.loop",
+	} {
+		if strings.Contains(stack, frag) {
+			return true
+		}
+	}
+	return false
+}

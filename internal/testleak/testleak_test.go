@@ -1,0 +1,86 @@
+package testleak
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder captures failures instead of failing the real test.
+type recorder struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Fatal(args ...any) {
+	r.failed = true
+	if len(args) == 1 {
+		if s, ok := args[0].(string); ok {
+			r.msg = s
+		}
+	}
+}
+func (r *recorder) Cleanup(f func()) { f() }
+
+// TestCleanPasses: a body that spawns and joins goroutines passes.
+func TestCleanPasses(t *testing.T) {
+	r := &recorder{TB: t}
+	check := Check(r)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	check()
+	if r.failed {
+		t.Fatalf("clean body reported a leak:\n%s", r.msg)
+	}
+}
+
+// TestLeakDetected: a goroutine that outlives the body is reported,
+// and the report names the leaking function rather than dumping the
+// whole process.
+func TestLeakDetected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out the full leak deadline")
+	}
+	r := &recorder{TB: t}
+	check := Check(r)
+	release := make(chan struct{})
+	go leakyFunction(release)
+	check()
+	close(release)
+	if !r.failed {
+		t.Fatal("leaked goroutine not detected")
+	}
+	if !strings.Contains(r.msg, "leakyFunction") {
+		t.Fatalf("report does not name the leaking function:\n%s", r.msg)
+	}
+	if !strings.HasPrefix(r.msg, "goroutine leak: 1 goroutine(s)") {
+		t.Fatalf("report should contain exactly the one leaked goroutine:\n%s", r.msg)
+	}
+}
+
+func leakyFunction(release <-chan struct{}) { <-release }
+
+// TestSlowUnwindTolerated: a goroutine that exits shortly after the
+// body (the read-pump pattern: Close returns before the pump notices)
+// must not be reported — verification polls.
+func TestSlowUnwindTolerated(t *testing.T) {
+	r := &recorder{TB: t}
+	check := Check(r)
+	go func() { time.Sleep(150 * time.Millisecond) }()
+	check()
+	if r.failed {
+		t.Fatalf("slow-unwinding goroutine reported as leak:\n%s", r.msg)
+	}
+}
+
+// TestCheckCleanup: the t.Cleanup registration path works end to end.
+func TestCheckCleanup(t *testing.T) {
+	r := &recorder{TB: t}
+	CheckCleanup(r) // recorder runs cleanups immediately; nothing leaked
+	if r.failed {
+		t.Fatalf("CheckCleanup on clean state failed:\n%s", r.msg)
+	}
+}
