@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race bench bench-json bench-sim golden fuzz chaos soak soak-smoke verify
+.PHONY: build test vet lint race bench bench-json bench-sim golden arena arena-smoke fuzz chaos soak soak-smoke verify
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,18 @@ bench-sim:
 # regenerate deliberately with `go test ./internal/golden/ -update`.
 golden:
 	$(GO) test ./internal/golden/
+
+# arena regenerates the admission-policy arena report and checks it
+# against the pinned results/arena/arena.txt; regenerate deliberately
+# with `go test ./internal/arena/ -update`.
+arena:
+	$(GO) test -run 'TestArenaGolden' -count=1 ./internal/arena/
+
+# arena-smoke is the CI-sized arena: the full contender roster on a
+# reduced grid under the race detector, with the runtime invariant
+# auditor attached (internal/arena.TestArenaSmoke).
+arena-smoke:
+	$(GO) test -race -count=1 -run 'TestArenaSmoke|TestArenaUnknownPolicy|TestRosterRegistered' -v ./internal/arena/
 
 # fuzz gives every fuzz target a short smoke run (the CI budget; run
 # targets individually with a longer -fuzztime for real hunting).

@@ -117,7 +117,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i := range nodes {
 		nodes[i] = signaling.NewBSNode(topology.CellID(i), top, core.Config{
 			Capacity:   100,
-			Policy:     core.AC3,
+			Admission:  core.MustPolicy("AC3"),
 			PHDTarget:  0.01,
 			TStart:     1,
 			Estimation: predict.StationaryConfig(),

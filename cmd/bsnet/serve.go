@@ -74,7 +74,7 @@ func runServe(sf *serveFlags, cells int, seed uint64, doAudit bool, fallback cor
 	top := topology.Ring(cells)
 	mesh := service.NewMeshCells(top, func(id topology.CellID, degree int) *core.Engine {
 		return core.NewEngine(core.Config{
-			Capacity: 100, Degree: degree, Policy: core.AC3,
+			Capacity: 100, Degree: degree, Admission: core.MustPolicy("AC3"),
 			PHDTarget: 0.01, TStart: 1,
 			Estimation: predict.Config{Tint: math.Inf(1), NQuad: *sf.nquad},
 			Fallback:   fallback,

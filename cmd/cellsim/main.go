@@ -57,7 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cellsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		policyName  = fs.String("policy", "ac3", "admission policy: ac1|ac2|ac3|static|none")
+		policyName  = fs.String("policy", "ac3", "admission policy name (see core.PolicyNames: ac1|ac2|ac3|static|none|exp-dwell|mob-spec|guard-dynamic|multi-class|token-bucket)")
 		reserve     = fs.Int("reserve", 10, "static reservation G in BUs (policy=static)")
 		load        = fs.Float64("load", 150, "offered load per cell in BUs (Eq. 7)")
 		rvo         = fs.Float64("rvo", 1.0, "voice ratio R_vo (voice=1 BU, video=4 BU)")
@@ -132,26 +132,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Faults = cellnet.FaultConfig{Enabled: true, Drop: *faultDrop, Fallback: fb}
 	}
 
-	switch strings.ToLower(*policyName) {
-	case "ac1":
-		cfg.Policy = core.AC1
-	case "ac2":
-		cfg.Policy = core.AC2
-	case "ac3":
-		cfg.Policy = core.AC3
-	case "static":
-		cfg.Policy = core.Static
-	case "none":
-		cfg.Policy = core.None
+	// The policy registry resolves names case-insensitively, so every
+	// spelling the old enum switch accepted still parses — and rivals
+	// registered by other packages are selectable with no CLI change.
+	pol, err := core.PolicyByName(*policyName)
+	if err != nil {
+		return errf("%v", err)
+	}
+	cfg.Admission = pol
+	switch pol.Name() {
 	case "exp-dwell":
-		cfg.Policy = core.ExpDwell
 		cfg.ExpDwellMean = *dwellMean
 		cfg.ExpDwellWindow = *dwellWindow
 	case "mob-spec":
-		cfg.Policy = core.MobSpec
 		cfg.MobSpecHorizon = *specHorizon
-	default:
-		return errf("unknown policy %q", *policyName)
 	}
 	if *adaptiveMin > 0 {
 		cfg.AdaptiveQoS = cellnet.AdaptiveQoSConfig{Enabled: true, VideoMinBUs: *adaptiveMin}
@@ -256,7 +250,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	fmt.Fprintf(stdout, "policy=%s topology=%s load=%.0f Rvo=%.2f speed=[%.0f,%.0f]km/h duration=%.0fs\n",
-		cfg.Policy, cfg.Topology.Kind(), *load, *rvo, sr.MinKmh, sr.MaxKmh, end)
+		pol.Name(), cfg.Topology.Kind(), *load, *rvo, sr.MinKmh, sr.MaxKmh, end)
 
 	if *reps > 1 {
 		printReps(stdout, points, *seed)

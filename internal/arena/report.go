@@ -1,0 +1,100 @@
+package arena
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"cellqos/internal/stats"
+)
+
+// Report is the arena outcome's canonical text serialization — the
+// bytes committed under results/arena and pinned by the golden test.
+// Identical simulation data serializes to identical bytes at any
+// Parallel, which is how the arena inherits the runner's determinism
+// guarantee.
+func (o *Outcome) Report() []byte {
+	var b bytes.Buffer
+	opt := o.Options
+	fmt.Fprintf(&b, "admission-policy arena\n")
+	fmt.Fprintf(&b, "grid: loads=%v rvo=%v seeds=%d (base seed %d) duration=%gs\n",
+		opt.Loads, opt.VoiceRatios, opt.Seeds, opt.Seed, opt.Duration)
+	fmt.Fprintf(&b, "target: P_HD <= %g\n\n", PHDTarget)
+
+	// Ranking: fewest target violations first, then lowest mean P_CB;
+	// roster order breaks exact ties.
+	rank := make([]*PolicyOutcome, len(o.Policies))
+	for i := range o.Policies {
+		rank[i] = &o.Policies[i]
+	}
+	sort.SliceStable(rank, func(i, j int) bool {
+		if rank[i].Violations != rank[j].Violations {
+			return rank[i].Violations < rank[j].Violations
+		}
+		return rank[i].MeanPCB < rank[j].MeanPCB
+	})
+	fmt.Fprintf(&b, "RANKING (by P_HD-target violations, then mean P_CB)\n")
+	rt := stats.NewTable("rank", "policy", "violations", "mean P_HD", "mean P_CB", "mean util")
+	for i, p := range rank {
+		rt.AddRowStrings(fmt.Sprintf("%d", i+1), p.Name, fmt.Sprintf("%d/%d", p.Violations, len(p.Cells)),
+			stats.FormatProb(p.MeanPHD), stats.FormatProb(p.MeanPCB), fmt.Sprintf("%.3f", p.MeanUtil))
+	}
+	b.WriteString(rt.String())
+
+	fmt.Fprintf(&b, "\nGRID (seed means over %d seeds)\n", opt.Seeds)
+	gt := stats.NewTable("policy", "load", "rvo", "P_HD", "P_CB", "util", "B_r", "downgrades")
+	for i := range o.Policies {
+		p := &o.Policies[i]
+		for _, c := range p.Cells {
+			gt.AddRowStrings(p.Name, fmt.Sprintf("%g", c.Load), fmt.Sprintf("%g", c.Rvo),
+				stats.FormatProb(c.PHD), stats.FormatProb(c.PCB),
+				fmt.Sprintf("%.3f", c.Util), fmt.Sprintf("%.2f", c.Br), fmt.Sprintf("%.1f", c.Downgrades))
+		}
+	}
+	b.WriteString(gt.String())
+
+	fmt.Fprintf(&b, "\nDOMINANCE (x: row's P_HD and P_CB no worse than column's in every cell, at least one strictly better)\n")
+	head := append([]string{""}, policyNames(o)...)
+	dt := stats.NewTable(head...)
+	for i := range o.Policies {
+		row := make([]string, 1, len(o.Policies)+1)
+		row[0] = o.Policies[i].Name
+		for j := range o.Policies {
+			switch {
+			case i == j:
+				row = append(row, "-")
+			case Dominates(&o.Policies[i], &o.Policies[j]):
+				row = append(row, "x")
+			default:
+				row = append(row, ".")
+			}
+		}
+		dt.AddRowStrings(row...)
+	}
+	b.WriteString(dt.String())
+
+	fmt.Fprintf(&b, "\nFINDINGS (pre-registered hypotheses)\n")
+	for _, f := range o.Findings {
+		verdict := "REJECTED"
+		if f.Confirmed {
+			verdict = "CONFIRMED"
+		}
+		if f.Skipped {
+			verdict = "SKIPPED"
+		}
+		tag := ""
+		if f.Mechanism {
+			tag = " [mechanism]"
+		}
+		fmt.Fprintf(&b, "%s [%s]%s %s\n  evidence: %s\n", f.ID, verdict, tag, f.Statement, f.Evidence)
+	}
+	return b.Bytes()
+}
+
+func policyNames(o *Outcome) []string {
+	names := make([]string, len(o.Policies))
+	for i := range o.Policies {
+		names[i] = o.Policies[i].Name
+	}
+	return names
+}

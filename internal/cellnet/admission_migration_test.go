@@ -1,0 +1,46 @@
+package cellnet
+
+import (
+	"reflect"
+	"testing"
+
+	"cellqos/internal/core"
+	"cellqos/internal/mobility"
+)
+
+// TestEnumRegistryDifferential is the migration proof for the enum's
+// deprecation window: a config selecting a scheme through the legacy
+// Policy enum and one selecting the same scheme through Config.Admission
+// produce byte-identical results, per policy. (The full corpus proof is
+// internal/golden; this differential pins the Config-level equivalence
+// directly and runs in the ordinary test tier.)
+func TestEnumRegistryDifferential(t *testing.T) {
+	cases := []struct {
+		enum core.Policy
+		name string
+	}{
+		{core.AC1, "AC1"},
+		{core.AC3, "AC3"},
+		{core.Static, "static"},
+		{core.None, "none"},
+		{core.ExpDwell, "exp-dwell"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			legacy := scenario(tc.enum, 200, 0.8, mobility.HighMobility, 7)
+			legacy.ExpDwellMean, legacy.ExpDwellWindow = 35, 30
+			viaEnum := MustNew(legacy).Run(600)
+
+			registry := scenario(tc.enum, 200, 0.8, mobility.HighMobility, 7)
+			registry.ExpDwellMean, registry.ExpDwellWindow = 35, 30
+			registry.Policy = 0 // zero enum must be ignored when Admission is set
+			registry.Admission = core.MustPolicy(tc.name)
+			viaRegistry := MustNew(registry).Run(600)
+
+			if !reflect.DeepEqual(viaEnum, viaRegistry) {
+				t.Fatalf("enum and registry runs diverged for %s:\nenum:     %+v\nregistry: %+v",
+					tc.name, viaEnum, viaRegistry)
+			}
+		})
+	}
+}

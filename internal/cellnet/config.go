@@ -23,8 +23,14 @@ type Config struct {
 	Topology *topology.Topology
 	// Capacity is each cell's wireless link capacity in BUs (A6: 100).
 	Capacity int
-	// Policy is the admission-control scheme under test.
+	// Policy is the admission-control scheme under test, named by the
+	// legacy enum. Ignored when Admission is non-nil.
 	Policy core.Policy
+	// Admission, when non-nil, selects the admission-control scheme
+	// directly as a core.AdmissionPolicy (typically obtained from
+	// core.PolicyByName). It takes precedence over Policy, which then
+	// only serves old callers and flag spellings.
+	Admission core.AdmissionPolicy
 	// StaticReserve is G for the Static policy.
 	StaticReserve int
 	// PHDTarget is P_HD,target (0.01 in the paper).
@@ -309,8 +315,8 @@ func (c Config) Validate() error {
 		switch {
 		case c.Backbone != nil:
 			return fmt.Errorf("cellnet: wired backbone unsupported with async sharding")
-		case c.Policy == core.MobSpec:
-			return fmt.Errorf("cellnet: MobSpec policy unsupported with async sharding")
+		case c.admissionTraits().MobSpec:
+			return fmt.Errorf("cellnet: mobility-specification policies unsupported with async sharding")
 		case c.SoftHandOff.Enabled:
 			return fmt.Errorf("cellnet: soft hand-off unsupported with async sharding")
 		case c.Faults.Enabled:
@@ -323,12 +329,29 @@ func (c Config) Validate() error {
 	return engCfg.Validate()
 }
 
+// admissionPolicy resolves the scheme under test: the explicit Admission
+// value when set, the legacy Policy enum otherwise. May return nil for an
+// invalid enum; Validate rejects such configs before any engine is built.
+func (c Config) admissionPolicy() core.AdmissionPolicy {
+	return core.ResolvePolicy(c.Admission, c.Policy)
+}
+
+// admissionTraits returns the resolved policy's behavioral traits, or the
+// zero traits when the config names no valid policy.
+func (c Config) admissionTraits() core.PolicyTraits {
+	if pol := c.admissionPolicy(); pol != nil {
+		return pol.Traits()
+	}
+	return core.PolicyTraits{}
+}
+
 // engineConfig derives the per-cell engine configuration.
 func (c Config) engineConfig(id topology.CellID) core.Config {
 	return core.Config{
 		Capacity:       c.Capacity,
 		Degree:         c.Topology.Degree(id),
 		Policy:         c.Policy,
+		Admission:      c.Admission,
 		StaticReserve:  c.StaticReserve,
 		PHDTarget:      c.PHDTarget,
 		TStart:         c.TStart,

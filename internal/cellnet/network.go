@@ -63,6 +63,7 @@ type connection struct {
 	wpath      wired.Path        // reserved backbone path (when a Backbone is configured)
 	pledges    []topology.CellID // cells holding a MobSpec pledge for this connection
 	min, max   int               // QoS range; rigid connections have min == max == bw
+	class      core.ServiceClass // service class (voice = 0, video = streaming)
 	// rng is the connection's private stream (async sharding only): the
 	// mobility path draws per hop while the connection migrates across
 	// shards, so the draws must follow the connection, not a cell or the
@@ -89,6 +90,7 @@ type connection struct {
 // single-goroutine entry points.
 type Network struct {
 	cfg    Config
+	traits core.PolicyTraits // resolved admission-policy traits
 	kernel sim.Kernel
 	shk    *shard.Kernel        // non-nil when Sharding selects the sharded kernel
 	part   *topology.Partition  // cell→shard ownership (nil with the single-heap kernel)
@@ -140,7 +142,7 @@ func New(cfg Config) (*Network, error) {
 			return nil, err
 		}
 	}
-	n := &Network{cfg: cfg}
+	n := &Network{cfg: cfg, traits: cfg.admissionTraits()}
 	async := cfg.Sharding.Async()
 	if !async {
 		n.rng = rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15))
@@ -199,7 +201,7 @@ func New(cfg Config) (*Network, error) {
 	for _, c := range n.cells {
 		n.scheduleNextArrival(c)
 	}
-	if cfg.Policy.Adaptive() && !math.IsInf(cfg.Estimation.Tint, 1) {
+	if n.traits.Adaptive && !math.IsInf(cfg.Estimation.Tint, 1) {
 		// Periodically apply the §3.1 cache-deletion rule so long runs
 		// don't accumulate out-of-date quadruplets in idle pairs.
 		n.scheduleSweep(cfg.Estimation.Period)
@@ -274,24 +276,33 @@ func (n *Network) scheduleNextArrival(c *cell) {
 		if n.cfg.AdaptiveQoS.Enabled && class == traffic.Video {
 			min = n.cfg.AdaptiveQoS.VideoMinBUs
 		}
-		n.request(c, min, max, 1)
+		n.request(c, min, max, serviceClass(class), 1)
 		n.scheduleNextArrival(c)
 	}); err != nil {
 		panic(err)
 	}
 }
 
+// serviceClass maps the traffic mix onto admission service classes:
+// voice is the highest priority, video the degradable streaming class.
+func serviceClass(class traffic.Class) core.ServiceClass {
+	if class == traffic.Video {
+		return core.ClassStreaming
+	}
+	return core.ClassRealTime
+}
+
 // request runs the admission test for a new connection needing at least
 // min and at most max BUs in cell c; nRet counts requests made so far by
 // this user (for the retry model). Admission — and reservation — is on
 // the minimum-QoS basis (§1).
-func (n *Network) request(c *cell, min, max, nRet int) {
+func (n *Network) request(c *cell, min, max int, svc core.ServiceClass, nRet int) {
 	now := n.now()
-	d := c.engine.AdmitNew(now, min, c.peers)
+	d := c.engine.AdmitNewRequest(now, core.Request{Bandwidth: min, Class: svc}, c.peers)
 	c.counters.RecordAdmissionTest(d.BrCalcs)
 	admitted := d.Admitted
 	var pledges []topology.CellID
-	if admitted && n.cfg.Policy == core.MobSpec {
+	if admitted && n.traits.MobSpec {
 		// Ref. [14]-style baseline: pledge the bandwidth in every cell of
 		// the mobility specification, all-or-nothing.
 		pledges, admitted = n.pledgeSpec(c.id, min)
@@ -314,12 +325,12 @@ func (n *Network) request(c *cell, min, max, nRet int) {
 	c.hourly.RecordRequest(now, !admitted)
 	n.noteBr(c, now)
 	if admitted {
-		n.establish(c, min, max, wpath, pledges)
+		n.establish(c, min, max, svc, wpath, pledges)
 		return
 	}
 	if n.cfg.Retry.ShouldRetry(n.rng, nRet) {
 		c.sched.MustAfter(n.cfg.Retry.WaitSeconds, func(sim.Scheduler) {
-			n.request(c, min, max, nRet+1)
+			n.request(c, min, max, svc, nRet+1)
 		})
 	}
 }
@@ -385,7 +396,7 @@ func (n *Network) releasePledges(conn *connection) {
 }
 
 // establish creates an admitted connection in cell c.
-func (n *Network) establish(c *cell, min, max int, wpath wired.Path, pledges []topology.CellID) {
+func (n *Network) establish(c *cell, min, max int, svc core.ServiceClass, wpath wired.Path, pledges []topology.CellID) {
 	now := n.now()
 	n.nextID++
 	conn := &connection{
@@ -393,6 +404,7 @@ func (n *Network) establish(c *cell, min, max int, wpath wired.Path, pledges []t
 		bw:         min,
 		min:        min,
 		max:        max,
+		class:      svc,
 		cell:       c.id,
 		prevInCell: topology.Self,
 		enteredAt:  now,
@@ -404,9 +416,9 @@ func (n *Network) establish(c *cell, min, max int, wpath wired.Path, pledges []t
 	n.conns[conn.id] = conn
 	hop, ok := conn.path.NextHop()
 	if min == max {
-		c.engine.AddConnection(conn.id, core.ConnSpec{Min: min, Prev: topology.Self, Hint: n.hintFor(c.id, hop, ok)}, now)
+		c.engine.AddConnection(conn.id, core.ConnSpec{Min: min, Prev: topology.Self, Hint: n.hintFor(c.id, hop, ok), Class: svc}, now)
 	} else {
-		conn.bw = c.engine.AddConnection(conn.id, core.ConnSpec{Min: min, Max: max, Prev: topology.Self}, now)
+		conn.bw = c.engine.AddConnection(conn.id, core.ConnSpec{Min: min, Max: max, Prev: topology.Self, Class: svc}, now)
 	}
 	n.noteBu(c, now)
 	n.scheduleDeparture(conn, hop, ok)
@@ -482,7 +494,7 @@ func (n *Network) onCrossing(id core.ConnID, hop mobility.Hop) {
 	}
 	// A MobSpec pledge at the destination converts into used bandwidth.
 	n.dropPledge(conn, to.id)
-	admitted := to.engine.AdmitHandOff(conn.min)
+	admitted := to.engine.AdmitHandOffRequest(now, core.Request{Bandwidth: conn.min, Class: conn.class}, to.peers).Admitted
 	if !admitted && n.cfg.AdaptiveQoS.Enabled {
 		// Adaptive QoS absorbs the hand-off by degrading existing
 		// connections toward their minima (§1).
@@ -560,15 +572,15 @@ func (n *Network) enterCell(conn *connection, from, to *cell) {
 	prevLocal, _ := n.cfg.Topology.LocalOf(to.id, from.id)
 	nextHop, okNext := conn.path.NextHop()
 	if conn.min == conn.max {
-		to.engine.AddConnection(conn.id, core.ConnSpec{Min: conn.min, Prev: prevLocal, Hint: n.hintFor(to.id, nextHop, okNext)}, now)
+		to.engine.AddConnection(conn.id, core.ConnSpec{Min: conn.min, Prev: prevLocal, Hint: n.hintFor(to.id, nextHop, okNext), Class: conn.class}, now)
 	} else {
-		conn.bw = to.engine.AddConnection(conn.id, core.ConnSpec{Min: conn.min, Max: conn.max, Prev: prevLocal}, now)
+		conn.bw = to.engine.AddConnection(conn.id, core.ConnSpec{Min: conn.min, Max: conn.max, Prev: prevLocal, Class: conn.class}, now)
 	}
 	n.noteBu(to, now)
 	conn.cell = to.id
 	conn.prevInCell = prevLocal
 	conn.enteredAt = now
-	if n.cfg.Policy == core.MobSpec {
+	if n.traits.MobSpec {
 		// Ref. [14] keeps the specification reserved for the whole
 		// connection lifetime: the cell just left goes back on pledge
 		// (the mobile may revisit it, e.g. by looping around a ring).
@@ -611,7 +623,7 @@ func (n *Network) onSoftRetry(id core.ConnID, from, to *cell, deadline float64) 
 	}
 	// A MobSpec pledge at the destination converts into used bandwidth.
 	n.dropPledge(conn, to.id)
-	admitted := to.engine.AdmitHandOff(conn.min)
+	admitted := to.engine.AdmitHandOffRequest(now, core.Request{Bandwidth: conn.min, Class: conn.class}, to.peers).Admitted
 	if !admitted && n.cfg.AdaptiveQoS.Enabled {
 		admitted = to.engine.DowngradeToFit(conn.min)
 		n.noteBu(to, now)

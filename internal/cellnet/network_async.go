@@ -136,12 +136,12 @@ func (n *Network) startAsync() {
 		}
 		n.shards[s] = st
 	}
-	usesPeers := n.cfg.Policy.Adaptive() || n.cfg.Policy == core.ExpDwell
+	usesPeers := n.traits.UsesPeers
 	for _, st := range n.shards {
 		for _, c := range st.cells {
 			n.scheduleNextArrivalAsync(st, c)
 		}
-		if n.cfg.Policy.Adaptive() && !math.IsInf(n.cfg.Estimation.Tint, 1) {
+		if n.traits.Adaptive && !math.IsInf(n.cfg.Estimation.Tint, 1) {
 			n.scheduleShardSweep(st, n.cfg.Estimation.Period)
 		}
 		if usesPeers {
@@ -171,7 +171,7 @@ func (n *Network) scheduleNextArrivalAsync(st *shardState, c *cell) {
 		if n.cfg.AdaptiveQoS.Enabled && class == traffic.Video {
 			min = n.cfg.AdaptiveQoS.VideoMinBUs
 		}
-		n.requestAsync(st, c, min, max, 1)
+		n.requestAsync(st, c, min, max, serviceClass(class), 1)
 		n.scheduleNextArrivalAsync(st, c)
 	}); err != nil {
 		panic(err)
@@ -181,28 +181,28 @@ func (n *Network) scheduleNextArrivalAsync(st *shardState, c *cell) {
 // requestAsync runs the admission test for a new connection in cell c.
 // Reservation state of neighbors comes from the mirror, so the test is
 // local and immediate; only its inputs are delayed.
-func (n *Network) requestAsync(st *shardState, c *cell, min, max, nRet int) {
+func (n *Network) requestAsync(st *shardState, c *cell, min, max int, svc core.ServiceClass, nRet int) {
 	now := c.sched.Now()
-	d := c.engine.AdmitNew(now, min, c.peers)
+	d := c.engine.AdmitNewRequest(now, core.Request{Bandwidth: min, Class: svc}, c.peers)
 	c.counters.RecordAdmissionTest(d.BrCalcs)
 	admitted := d.Admitted
 	c.counters.RecordRequest(!admitted)
 	c.hourly.RecordRequest(now, !admitted)
 	n.noteBr(c, now)
 	if admitted {
-		n.establishAsync(st, c, min, max, now)
+		n.establishAsync(st, c, min, max, svc, now)
 		return
 	}
 	if n.cfg.Retry.ShouldRetry(c.rng, nRet) {
 		c.sched.MustAfter(n.cfg.Retry.WaitSeconds, func(sim.Scheduler) {
-			n.requestAsync(st, c, min, max, nRet+1)
+			n.requestAsync(st, c, min, max, svc, nRet+1)
 		})
 	}
 }
 
 // establishAsync creates an admitted connection in cell c with a
 // shard-count-independent ID and its own mobility stream.
-func (n *Network) establishAsync(st *shardState, c *cell, min, max int, now float64) {
+func (n *Network) establishAsync(st *shardState, c *cell, min, max int, svc core.ServiceClass, now float64) {
 	c.connSeq++
 	id := core.ConnID(uint64(c.id)<<32 | (c.connSeq & 0xffffffff))
 	conn := &connection{
@@ -210,6 +210,7 @@ func (n *Network) establishAsync(st *shardState, c *cell, min, max int, now floa
 		bw:         min,
 		min:        min,
 		max:        max,
+		class:      svc,
 		cell:       c.id,
 		prevInCell: topology.Self,
 		enteredAt:  now,
@@ -221,9 +222,9 @@ func (n *Network) establishAsync(st *shardState, c *cell, min, max int, now floa
 	st.births++
 	hop, ok := conn.path.NextHop()
 	if min == max {
-		c.engine.AddConnection(id, core.ConnSpec{Min: min, Prev: topology.Self, Hint: n.hintFor(c.id, hop, ok)}, now)
+		c.engine.AddConnection(id, core.ConnSpec{Min: min, Prev: topology.Self, Hint: n.hintFor(c.id, hop, ok), Class: svc}, now)
 	} else {
-		conn.bw = c.engine.AddConnection(id, core.ConnSpec{Min: min, Max: max, Prev: topology.Self}, now)
+		conn.bw = c.engine.AddConnection(id, core.ConnSpec{Min: min, Max: max, Prev: topology.Self, Class: svc}, now)
 	}
 	n.noteBu(c, now)
 	n.scheduleDepartureAsync(st, conn, hop, ok)
@@ -306,7 +307,7 @@ func (n *Network) onHandOffArrive(st *shardState, conn *connection, fromID, toID
 	to := n.cells[toID]
 	now := to.sched.Now()
 	st.recvHO++
-	admitted := to.engine.AdmitHandOff(conn.min)
+	admitted := to.engine.AdmitHandOffRequest(now, core.Request{Bandwidth: conn.min, Class: conn.class}, to.peers).Admitted
 	if !admitted && n.cfg.AdaptiveQoS.Enabled {
 		admitted = to.engine.DowngradeToFit(conn.min)
 		n.noteBu(to, now)
@@ -325,9 +326,9 @@ func (n *Network) onHandOffArrive(st *shardState, conn *connection, fromID, toID
 	prevLocal, _ := n.cfg.Topology.LocalOf(toID, fromID)
 	nextHop, okNext := conn.path.NextHop()
 	if conn.min == conn.max {
-		to.engine.AddConnection(conn.id, core.ConnSpec{Min: conn.min, Prev: prevLocal, Hint: n.hintFor(toID, nextHop, okNext)}, now)
+		to.engine.AddConnection(conn.id, core.ConnSpec{Min: conn.min, Prev: prevLocal, Hint: n.hintFor(toID, nextHop, okNext), Class: conn.class}, now)
 	} else {
-		conn.bw = to.engine.AddConnection(conn.id, core.ConnSpec{Min: conn.min, Max: conn.max, Prev: prevLocal}, now)
+		conn.bw = to.engine.AddConnection(conn.id, core.ConnSpec{Min: conn.min, Max: conn.max, Prev: prevLocal, Class: conn.class}, now)
 	}
 	n.noteBu(to, now)
 	conn.cell = toID

@@ -365,7 +365,7 @@ func TestPropertyRunInvariants(t *testing.T) {
 			if c.Br < 0 {
 				t.Fatalf("seed %d: negative Br %v", seed, c.Br)
 			}
-			if policy.Adaptive() && c.Test < 1 {
+			if core.MustPolicy(policy.String()).Traits().Adaptive && c.Test < 1 {
 				t.Fatalf("seed %d: Test %v below floor", seed, c.Test)
 			}
 		}

@@ -82,6 +82,10 @@ func (p Policy) String() string {
 
 // Adaptive reports whether the policy runs the predictive reservation
 // machinery (estimator + T_est controller).
+//
+// Deprecated: ask the policy itself — Traits().Adaptive on the value
+// from PolicyByName / Config.Admission; the enum survives only as a
+// config shim for one release.
 func (p Policy) Adaptive() bool { return p == AC1 || p == AC2 || p == AC3 }
 
 // ConnID identifies a connection within the whole system.
@@ -101,6 +105,7 @@ type conn struct {
 	prev      topology.LocalIndex // where the mobile came from (Self = born here)
 	enteredAt float64
 	hint      topology.LocalIndex // known next cell (ITS/GPS, §7), or NoHint
+	class     ServiceClass        // service class (0 = highest priority)
 }
 
 // Config parameterizes an Engine.
@@ -110,8 +115,13 @@ type Config struct {
 	Capacity int
 	// Degree is the number of adjacent cells.
 	Degree int
-	// Policy is the admission-control scheme.
+	// Policy is the legacy admission-control selector; it is consulted
+	// only when Admission is nil.
 	Policy Policy
+	// Admission is the admission-control scheme as a first-class
+	// implementation (PolicyByName, or a custom AdmissionPolicy). When
+	// nil, the legacy Policy enum value selects the scheme.
+	Admission AdmissionPolicy
 	// StaticReserve is G, the permanent reservation of the Static policy.
 	StaticReserve int
 	// PHDTarget is P_HD,target (paper: 0.01). Used by adaptive policies.
@@ -152,16 +162,22 @@ type Config struct {
 
 // Validate checks config invariants.
 func (c Config) Validate() error {
+	pol := ResolvePolicy(c.Admission, c.Policy)
+	if pol == nil {
+		return fmt.Errorf("core: unknown policy %v", c.Policy)
+	}
 	if c.Capacity <= 0 {
 		return fmt.Errorf("core: capacity must be positive, got %d", c.Capacity)
 	}
 	if c.Degree < 1 {
 		return fmt.Errorf("core: degree must be ≥ 1, got %d", c.Degree)
 	}
-	if c.Policy == Static && (c.StaticReserve < 0 || c.StaticReserve > c.Capacity) {
-		return fmt.Errorf("core: static reserve %d outside [0,%d]", c.StaticReserve, c.Capacity)
+	if v, ok := pol.(PolicyValidator); ok {
+		if err := v.ValidateConfig(c); err != nil {
+			return err
+		}
 	}
-	if c.Policy.Adaptive() {
+	if pol.Traits().Adaptive {
 		if c.PHDTarget <= 0 || c.PHDTarget > 1 {
 			return fmt.Errorf("core: PHD target %v outside (0,1]", c.PHDTarget)
 		}
@@ -174,10 +190,6 @@ func (c Config) Validate() error {
 	}
 	if c.HandOffMargin < 0 {
 		return fmt.Errorf("core: negative hand-off margin %d", c.HandOffMargin)
-	}
-	if c.Policy == ExpDwell && (c.ExpDwellMean <= 0 || c.ExpDwellWindow <= 0) {
-		return fmt.Errorf("core: ExpDwell requires positive mean dwell and window, got τ=%v T=%v",
-			c.ExpDwellMean, c.ExpDwellWindow)
 	}
 	if err := c.Fallback.Validate(); err != nil {
 		return err
@@ -254,7 +266,13 @@ type Decision struct {
 // estimator, T_est controller, reservation computation, and admission
 // tests. It is not safe for concurrent use; the owning BS serializes.
 type Engine struct {
-	cfg Config
+	cfg    Config
+	pol    AdmissionPolicy // resolved (and per-cell instantiated) scheme
+	traits PolicyTraits    // pol.Traits(), cached
+	// ctx is the reusable decision context: admission entry points are
+	// serialized by the owning BS, and reuse keeps the hot path
+	// allocation-free despite the interface indirection.
+	ctx PolicyContext
 	lk  sync.Locker // optional; see Config.Lock
 	// Connections live in a slice (stable, deterministic iteration order
 	// for the Eq. 5 float sums) with a map index for O(1) lookup;
@@ -296,22 +314,35 @@ func NewEngine(cfg Config) *Engine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	e := &Engine{cfg: cfg, index: make(map[ConnID]int)}
+	pol := ResolvePolicy(cfg.Admission, cfg.Policy)
+	if cs, ok := pol.(CellStater); ok {
+		// Per-cell mutable state: this engine dispatches to its own
+		// instance, never the shared registry value.
+		pol = cs.NewCellState()
+	}
+	e := &Engine{cfg: cfg, pol: pol, traits: pol.Traits(), index: make(map[ConnID]int)}
 	e.lk = cfg.Lock
 	e.lastOut = make([]float64, cfg.Degree)
 	e.lastOutAt = make([]float64, cfg.Degree)
 	for i := range e.lastOutAt {
 		e.lastOutAt[i] = math.NaN() // never heard from this neighbor
 	}
-	if cfg.Policy.Adaptive() {
+	if e.traits.Adaptive {
 		e.patterns = predict.NewPatternSet(cfg.Estimation, cfg.Calendar)
 		e.tc = NewTestController(cfg.PHDTarget, cfg.TStart, cfg.Step)
 	}
-	if cfg.Policy == Static {
-		e.lastBr = float64(cfg.StaticReserve)
+	if f, ok := pol.(FixedReservationPolicy); ok {
+		e.lastBr = f.FixedReservation(cfg)
 	}
 	return e
 }
+
+// Policy returns the engine's resolved admission policy (the per-cell
+// instance for stateful schemes).
+func (e *Engine) Policy() AdmissionPolicy { return e.pol }
+
+// Traits returns the resolved policy's traits.
+func (e *Engine) Traits() PolicyTraits { return e.traits }
 
 // lock/unlock guard local state when a Locker is configured.
 func (e *Engine) lock() {
@@ -413,6 +444,19 @@ func (e *Engine) LastTargetReservation() float64 {
 	return e.lastBr
 }
 
+// PublishReservation records br as the current target reservation
+// B_r^prev (visible to AC3 snapshots, RedistributeFree and metrics)
+// without counting an Eq. 6 evaluation. Policies that maintain their
+// own reservation level (dynamic guard channels) publish it here.
+func (e *Engine) PublishReservation(br float64) {
+	if math.IsNaN(br) || math.IsInf(br, 0) || br < 0 {
+		panic(fmt.Sprintf("core: bad published reservation %v", br))
+	}
+	e.lock()
+	defer e.unlock()
+	e.lastBr = br
+}
+
 // BrCalcCount returns how many times this engine evaluated Eq. 6.
 func (e *Engine) BrCalcCount() uint64 {
 	e.lock()
@@ -438,6 +482,10 @@ type ConnSpec struct {
 	// ITS/GPS extension): Eq. 5 then only estimates the hand-off *time*,
 	// concentrating the reserved bandwidth on the known destination.
 	Hint topology.LocalIndex
+	// Class is the connection's service class (0 = highest priority);
+	// multi-class policies degrade lower-priority elastic connections
+	// first. The zero value keeps single-class behavior.
+	Class ServiceClass
 }
 
 // AddConnection registers a connection occupying the cell and returns
@@ -475,7 +523,7 @@ func (e *Engine) AddConnection(id ConnID, spec ConnSpec, now float64) int {
 	}
 	i := len(e.conns)
 	e.index[id] = i
-	e.conns = append(e.conns, conn{id: id, bw: grant, min: min, max: max, prev: spec.Prev, enteredAt: now, hint: hint})
+	e.conns = append(e.conns, conn{id: id, bw: grant, min: min, max: max, prev: spec.Prev, enteredAt: now, hint: hint, class: spec.Class})
 	e.used += grant
 	e.eq5Extend(i, now)
 	return grant
@@ -511,6 +559,51 @@ func (e *Engine) DowngradeToFit(need int) bool {
 	for i := range e.conns {
 		if short <= 0 {
 			break
+		}
+		give := e.conns[i].bw - e.conns[i].min
+		if give > short {
+			give = short
+		}
+		e.conns[i].bw -= give
+		e.used -= give
+		short -= give
+	}
+	e.downgrades++
+	return true
+}
+
+// DowngradeClassToFit is the multi-class variant of DowngradeToFit: it
+// shrinks only connections of service class strictly lower-priority
+// than keep (class > keep) toward their minima, until need BUs fit
+// under limit (committed bandwidth + need ≤ limit). All-or-nothing,
+// like DowngradeToFit; the caller supplies the limit because new-call
+// admissions must still clear the reservation (C − B_r) while hand-offs
+// may use the full soft capacity.
+func (e *Engine) DowngradeClassToFit(need int, keep ServiceClass, limit int) bool {
+	if need <= 0 {
+		panic(fmt.Sprintf("core: non-positive need %d", need))
+	}
+	e.lock()
+	defer e.unlock()
+	short := e.used + e.pledged + need - limit
+	if short <= 0 {
+		return true
+	}
+	reclaimable := 0
+	for i := range e.conns {
+		if e.conns[i].class > keep {
+			reclaimable += e.conns[i].bw - e.conns[i].min
+		}
+	}
+	if reclaimable < short {
+		return false
+	}
+	for i := range e.conns {
+		if short <= 0 {
+			break
+		}
+		if e.conns[i].class <= keep {
+			continue
 		}
 		give := e.conns[i].bw - e.conns[i].min
 		if give > short {
@@ -618,13 +711,20 @@ func (e *Engine) RecordDeparture(q predict.Quadruplet) {
 	}
 	e.lock()
 	defer e.unlock()
-	e.patterns.Record(q)
+	preGen := e.patterns.Estimator(q.Event).Generation()
+	visible := e.patterns.Record(q)
+	e.eq5NoteRecord(q, visible, preGen)
 }
 
 // NoteHandOffArrival drives the T_est controller with one hand-off into
 // this cell. For drops it fetches T_soj,max from the neighbors via
 // peers (the controller's cap); successful hand-offs don't need it.
 func (e *Engine) NoteHandOffArrival(now float64, dropped bool, peers Peers) {
+	if obs, ok := e.pol.(HandOffObserver); ok {
+		// Policy feedback (e.g. a dynamic guard level) sees every
+		// hand-off arrival, before the T_est controller.
+		obs.ObserveHandOff(e, now, dropped)
+	}
 	if e.tc == nil {
 		return
 	}
@@ -684,16 +784,10 @@ func (e *Engine) NoteHandOffArrival(now float64, dropped bool, peers Peers) {
 // estimator generation forces a full rebuild; a cold direction pays one
 // term-materialization pass.
 func (e *Engine) OutgoingReservation(now float64, toward topology.LocalIndex, test float64) float64 {
-	if e.cfg.Policy == ExpDwell {
-		// Analytical model: P(hand-off within test) = 1 − e^(−test/τ),
-		// direction uniform over this cell's neighbors. The extant
-		// sojourn is irrelevant — the exponential is memoryless, which
-		// is precisely the assumption the paper rejects.
-		e.lock()
-		used := e.used
-		e.unlock()
-		p := (1 - math.Exp(-test/e.cfg.ExpDwellMean)) / float64(e.cfg.Degree)
-		return float64(used) * p
+	if m, ok := e.pol.(OutgoingModel); ok {
+		// Analytical model (the ExpDwell baseline): the policy replaces
+		// the history-based evaluation entirely.
+		return m.ModelOutgoing(e, now, toward, test)
 	}
 	if e.patterns == nil {
 		return 0
@@ -729,11 +823,8 @@ func (e *Engine) OutgoingReservation(now float64, toward topology.LocalIndex, te
 // current T_est. It updates B_r^prev and counts one B_r calculation.
 // Non-adaptive policies return their fixed reservation.
 func (e *Engine) ComputeTargetReservation(now float64, peers Peers) float64 {
-	switch e.cfg.Policy {
-	case Static:
-		return float64(e.cfg.StaticReserve)
-	case None:
-		return 0
+	if f, ok := e.pol.(FixedReservationPolicy); ok {
+		return f.FixedReservation(e.cfg)
 	}
 	test := e.cfg.ExpDwellWindow // fixed window for the ExpDwell baseline
 	if e.tc != nil {
@@ -815,89 +906,33 @@ func (e *Engine) AdmitHandOff(bw int) bool {
 // AdmitNew runs the policy's admission test for a new connection of bw
 // BUs requested at time now (paper §4.3). It recomputes B_r as required
 // by the policy but does not register the connection; call AddConnection
-// after a positive decision.
+// after a positive decision. The request carries the zero (highest
+// priority) service class; AdmitNewRequest takes an explicit one.
 func (e *Engine) AdmitNew(now float64, bw int, peers Peers) Decision {
-	if bw <= 0 {
-		panic(fmt.Sprintf("core: non-positive bandwidth %d", bw))
+	return e.AdmitNewRequest(now, Request{Bandwidth: bw}, peers)
+}
+
+// AdmitNewRequest dispatches a new-call admission to the policy. The
+// decision context is reused across calls (admission entry points are
+// serialized by the owning BS), keeping the hot path allocation-free.
+func (e *Engine) AdmitNewRequest(now float64, req Request, peers Peers) Decision {
+	if req.Bandwidth <= 0 {
+		panic(fmt.Sprintf("core: non-positive bandwidth %d", req.Bandwidth))
 	}
-	switch e.cfg.Policy {
-	case None:
-		return Decision{Admitted: e.committed()+bw <= e.cfg.Capacity}
-	case MobSpec:
-		// The own-cell test; the network layer additionally pledges the
-		// bandwidth across the mobility specification.
-		return Decision{Admitted: e.committed()+bw <= e.cfg.Capacity}
-	case Static:
-		return Decision{Admitted: e.committed()+bw <= e.cfg.Capacity-e.cfg.StaticReserve}
-	case AC1, ExpDwell:
-		br := e.ComputeTargetReservation(now, peers)
-		return e.finishDecision(Decision{
-			Admitted: float64(e.committed()+bw) <= float64(e.cfg.Capacity)-br,
-			BrCalcs:  1,
-			Degraded: e.BrDegraded(),
-		})
-	case AC2:
-		ok := true
-		degraded := false
-		calcs := 0
-		for li := topology.LocalIndex(1); int(li) <= e.cfg.Degree; li++ {
-			used, cap_, nbr, okCall := peers.RecomputeReservation(li, now)
-			calcs++
-			if !okCall {
-				// Unknown neighbor state: conservatively assume it cannot
-				// reserve its target — protect P_HD at the cost of P_CB.
-				degraded = true
-				ok = false
-				continue
-			}
-			if float64(used) > float64(cap_)-nbr {
-				ok = false
-			}
-		}
-		br := e.ComputeTargetReservation(now, peers)
-		calcs++
-		if e.BrDegraded() {
-			degraded = true
-		}
-		if float64(e.committed()+bw) > float64(e.cfg.Capacity)-br {
-			ok = false
-		}
-		return e.finishDecision(Decision{Admitted: ok, BrCalcs: calcs, Degraded: degraded})
-	case AC3:
-		ok := true
-		degraded := false
-		calcs := 0
-		for li := topology.LocalIndex(1); int(li) <= e.cfg.Degree; li++ {
-			used, cap_, lastBr, okSnap := peers.Snapshot(li)
-			if okSnap && float64(used)+lastBr <= float64(cap_) {
-				continue // neighbor appears able to reserve its target
-			}
-			// The neighbor appears unable — or its health is unknown
-			// (!okSnap), which must not read as "healthy": make it
-			// recompute and prove it has room.
-			usedNew, capNew, nbr, okRe := peers.RecomputeReservation(li, now)
-			calcs++
-			if !okRe {
-				degraded = true
-				ok = false
-				continue
-			}
-			if float64(usedNew) > float64(capNew)-nbr {
-				ok = false
-			}
-		}
-		br := e.ComputeTargetReservation(now, peers)
-		calcs++
-		if e.BrDegraded() {
-			degraded = true
-		}
-		if float64(e.committed()+bw) > float64(e.cfg.Capacity)-br {
-			ok = false
-		}
-		return e.finishDecision(Decision{Admitted: ok, BrCalcs: calcs, Degraded: degraded})
-	default:
-		panic(fmt.Sprintf("core: unknown policy %v", e.cfg.Policy))
+	e.ctx = PolicyContext{Now: now, Bandwidth: req.Bandwidth, Class: req.Class, engine: e, peers: peers}
+	return e.finishDecision(e.pol.DecideNew(&e.ctx))
+}
+
+// AdmitHandOffRequest dispatches a hand-off admission to the policy.
+// Every built-in policy answers with the base capacity test (see
+// AdmitHandOff); custom policies may additionally degrade lower-class
+// connections or consult neighbors.
+func (e *Engine) AdmitHandOffRequest(now float64, req Request, peers Peers) Decision {
+	if req.Bandwidth <= 0 {
+		panic(fmt.Sprintf("core: non-positive bandwidth %d", req.Bandwidth))
 	}
+	e.ctx = PolicyContext{Now: now, Bandwidth: req.Bandwidth, Class: req.Class, HandOff: true, engine: e, peers: peers}
+	return e.finishDecision(e.pol.DecideHandOff(&e.ctx))
 }
 
 // finishDecision books degraded-mode accounting for an admission test.

@@ -353,8 +353,8 @@ func TestPolicyStrings(t *testing.T) {
 			t.Errorf("%d.String() = %q", p, p.String())
 		}
 	}
-	if !AC3.Adaptive() || Static.Adaptive() || None.Adaptive() {
-		t.Error("Adaptive() misclassifies")
+	if !MustPolicy("AC3").Traits().Adaptive || MustPolicy("static").Traits().Adaptive || MustPolicy("none").Traits().Adaptive {
+		t.Error("Adaptive trait misclassifies")
 	}
 }
 

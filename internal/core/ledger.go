@@ -48,6 +48,10 @@ type Ledger struct {
 	Eq5Rebuilds  uint64
 	Eq5Advances  uint64
 	Eq5Refreshes uint64
+	// Eq5Adoptions counts estimator generations the view adopted in
+	// place after a provably invisible Record (see eq5NoteRecord) —
+	// rebuilds the adoption path spared.
+	Eq5Adoptions uint64
 }
 
 // Ledger snapshots the engine's accounting state atomically.
@@ -58,7 +62,7 @@ func (e *Engine) Ledger() Ledger {
 		Capacity:           e.cfg.Capacity,
 		Margin:             e.cfg.HandOffMargin,
 		Degree:             e.cfg.Degree,
-		Adaptive:           e.cfg.Policy.Adaptive(),
+		Adaptive:           e.traits.Adaptive,
 		Used:               e.used,
 		Pledged:            e.pledged,
 		Connections:        len(e.conns),
@@ -70,6 +74,7 @@ func (e *Engine) Ledger() Ledger {
 		Eq5Rebuilds:        e.eq5.rebuilds,
 		Eq5Advances:        e.eq5.advances,
 		Eq5Refreshes:       e.eq5.refreshes,
+		Eq5Adoptions:       e.eq5.adoptions,
 	}
 	if e.tc != nil {
 		l.Test = e.tc.Test()

@@ -185,7 +185,7 @@ func runEngineOps(t *testing.T, cfg core.Config, r *rand.Rand) {
 		check(label)
 		// Feed the estimator occasionally so the adaptive config's
 		// Eq. 5–6 path sees real history.
-		if cfg.Policy.Adaptive() && op%17 == 0 {
+		if e.Traits().Adaptive && op%17 == 0 {
 			e.RecordDeparture(predict.Quadruplet{
 				Event:   now,
 				Prev:    topology.LocalIndex(r.IntN(cfg.Degree + 1)),

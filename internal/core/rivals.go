@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// This file implements three admission-control rivals from the wider
+// hand-off literature, registered alongside the paper's schemes so the
+// arena (internal/arena) can rank them under identical workloads:
+//
+//   - "guard-dynamic": dynamic guard channels with channel borrowing —
+//     the classic guard-channel scheme made adaptive by moving the guard
+//     level on observed hand-off outcomes (after the dynamic
+//     guard-channel literature, e.g. arXiv:1206.3375).
+//   - "multi-class": adaptive multi-class degradation — the Eq. 5/6
+//     reservation test backed by class-aware downgrading of lower
+//     priority elastic connections (after multi-class adaptive
+//     frameworks, e.g. arXiv:1502.06388).
+//   - "token-bucket": an overload gate in front of the plain capacity
+//     test — new-call attempts drain a per-cell token bucket so admission
+//     bursts are smoothed while hand-offs bypass the gate entirely
+//     (adapted from the production admission server's internal/service
+//     gate, re-based from wall-clock to simulation time).
+
+// ---------------------------------------------------------------------
+// Dynamic guard channels with borrowing.
+
+// guardDynamicPolicy reserves an integer guard band for hand-offs and
+// adapts it per cell: every dropped hand-off raises the guard by Step,
+// every SuccessRun consecutive successes lowers it by Step. New calls
+// may "borrow" guard bandwidth down to Min when the cell has seen no
+// hand-off arrival for BorrowIdle seconds — idle guard capacity is
+// lent to new calls instead of sitting blocked.
+//
+// The struct doubles as the registry prototype (knobs only) and, via
+// NewCellState, the per-cell instance carrying mutable state. State is
+// guarded by a mutex because neighbors may read the guard level through
+// the peer fan-out while the owning cell adapts it.
+type guardDynamicPolicy struct {
+	// Start is the initial guard level in BUs.
+	Start int
+	// Min and Max clamp the adaptive guard level.
+	Min, Max int
+	// Step is the per-adjustment guard increment/decrement in BUs.
+	Step int
+	// SuccessRun is how many consecutive successful hand-offs lower the
+	// guard by one Step.
+	SuccessRun int
+	// BorrowIdle is how long (seconds) the cell must go without any
+	// hand-off arrival before new calls may borrow into the guard band.
+	BorrowIdle float64
+
+	mu     sync.Mutex
+	guard  int     // current guard level in BUs
+	okRun  int     // consecutive successful hand-offs since last change
+	lastHO float64 // time of the most recent hand-off arrival
+}
+
+// defaultGuardDynamic returns the registry prototype with its default
+// knobs: a 5-BU starting guard adapting within [2,20] by 1-BU steps,
+// relaxing after 8 clean hand-offs, borrowable after 30 idle seconds.
+func defaultGuardDynamic() *guardDynamicPolicy {
+	return &guardDynamicPolicy{Start: 5, Min: 2, Max: 20, Step: 1, SuccessRun: 8, BorrowIdle: 30, guard: 5}
+}
+
+func (g *guardDynamicPolicy) Name() string         { return "guard-dynamic" }
+func (g *guardDynamicPolicy) Traits() PolicyTraits { return PolicyTraits{} }
+
+// NewCellState gives each cell its own guard level.
+func (g *guardDynamicPolicy) NewCellState() AdmissionPolicy {
+	return &guardDynamicPolicy{
+		Start: g.Start, Min: g.Min, Max: g.Max, Step: g.Step,
+		SuccessRun: g.SuccessRun, BorrowIdle: g.BorrowIdle,
+		guard: g.Start,
+	}
+}
+
+// FixedReservation seeds B_r^prev with the guard level and answers the
+// engine's generic ComputeTargetReservation with it, so metrics and
+// peer snapshots report the live guard as the cell's reservation.
+func (g *guardDynamicPolicy) FixedReservation(Config) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return float64(g.guard)
+}
+
+// ObserveHandOff adapts the guard to observed hand-off pressure.
+func (g *guardDynamicPolicy) ObserveHandOff(e *Engine, now float64, dropped bool) {
+	g.mu.Lock()
+	g.lastHO = now
+	if dropped {
+		g.okRun = 0
+		if g.guard < g.Max {
+			g.guard += g.Step
+			if g.guard > g.Max {
+				g.guard = g.Max
+			}
+		}
+	} else {
+		g.okRun++
+		if g.okRun >= g.SuccessRun {
+			g.okRun = 0
+			if g.guard > g.Min {
+				g.guard -= g.Step
+				if g.guard < g.Min {
+					g.guard = g.Min
+				}
+			}
+		}
+	}
+	guard := g.guard
+	g.mu.Unlock()
+	e.PublishReservation(float64(guard))
+}
+
+func (g *guardDynamicPolicy) DecideNew(ctx *PolicyContext) Decision {
+	g.mu.Lock()
+	guard := g.guard
+	idle := ctx.Now-g.lastHO >= g.BorrowIdle
+	g.mu.Unlock()
+	total := ctx.Committed() + ctx.Bandwidth
+	if total <= ctx.Capacity()-guard {
+		return Decision{Admitted: true}
+	}
+	// Borrowing: idle guard capacity is lent down to Min.
+	if idle && total <= ctx.Capacity()-g.Min {
+		return Decision{Admitted: true}
+	}
+	return Decision{}
+}
+
+func (g *guardDynamicPolicy) DecideHandOff(ctx *PolicyContext) Decision {
+	return handOffRoomDecision(ctx)
+}
+
+func (g *guardDynamicPolicy) ValidateConfig(cfg Config) error {
+	if g.Min < 0 || g.Max < g.Min || g.Start < g.Min || g.Start > g.Max {
+		return fmt.Errorf("core: guard-dynamic levels start=%d outside [%d,%d]", g.Start, g.Min, g.Max)
+	}
+	if g.Max > cfg.Capacity {
+		return fmt.Errorf("core: guard-dynamic max %d exceeds capacity %d", g.Max, cfg.Capacity)
+	}
+	if g.Step <= 0 || g.SuccessRun <= 0 || g.BorrowIdle < 0 {
+		return fmt.Errorf("core: guard-dynamic knobs step=%d run=%d idle=%v", g.Step, g.SuccessRun, g.BorrowIdle)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Multi-class adaptive degradation.
+
+// multiClassPolicy runs the paper's predictive reservation test (Eq. 6,
+// AC1 form) but, where AC1 would block, tries to make room by degrading
+// lower-priority elastic connections toward their minima — admission by
+// degradation rather than rejection. Hand-offs get the same treatment
+// above the plain capacity test, so a full cell sheds streaming quality
+// before dropping an active call.
+type multiClassPolicy struct{}
+
+func (multiClassPolicy) Name() string         { return "multi-class" }
+func (multiClassPolicy) Traits() PolicyTraits { return PolicyTraits{Adaptive: true, UsesPeers: true} }
+
+func (multiClassPolicy) DecideNew(ctx *PolicyContext) Decision {
+	br := ctx.ComputeTargetReservation()
+	d := Decision{BrCalcs: 1, Degraded: ctx.BrDegraded()}
+	limit := int(math.Floor(float64(ctx.Capacity()) - br))
+	if ctx.Committed()+ctx.Bandwidth <= limit {
+		d.Admitted = true
+		return d
+	}
+	// Blocked at current grants: degrade strictly lower-priority
+	// connections toward their minima until the request fits under the
+	// same reservation-respecting limit.
+	d.Admitted = ctx.DowngradeClassToFit(ctx.Bandwidth, ctx.Class, limit)
+	return d
+}
+
+func (multiClassPolicy) DecideHandOff(ctx *PolicyContext) Decision {
+	if ctx.HandOffRoom() {
+		return Decision{Admitted: true}
+	}
+	// A full cell degrades streaming quality before dropping the call.
+	return Decision{
+		Admitted: ctx.DowngradeClassToFit(ctx.Bandwidth, ctx.Class, ctx.Capacity()+ctx.HandOffMargin()),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Token-bucket overload gate.
+
+// tokenBucketPolicy meters new-call admission attempts through a
+// per-cell token bucket running on simulation time: each attempt needs
+// one token; the bucket refills at Rate tokens/second up to Burst. An
+// empty bucket sheds the attempt outright — before any capacity test —
+// which smooths admission bursts into the cell. Hand-offs never consume
+// tokens: the gate protects hand-offs from new-call surges, not the
+// other way around.
+type tokenBucketPolicy struct {
+	// Burst is the bucket depth (maximum tokens, also the initial fill).
+	Burst float64
+	// Rate is the refill rate in tokens per simulated second.
+	Rate float64
+
+	tokens float64
+	last   float64
+}
+
+// defaultTokenBucket returns the registry prototype: bursts of 10
+// admissions, refilling at 0.5 tokens/s (steady-state 30 calls/min).
+func defaultTokenBucket() *tokenBucketPolicy {
+	return &tokenBucketPolicy{Burst: 10, Rate: 0.5}
+}
+
+func (t *tokenBucketPolicy) Name() string         { return "token-bucket" }
+func (t *tokenBucketPolicy) Traits() PolicyTraits { return PolicyTraits{} }
+
+// NewCellState gives each cell its own bucket, initially full.
+func (t *tokenBucketPolicy) NewCellState() AdmissionPolicy {
+	return &tokenBucketPolicy{Burst: t.Burst, Rate: t.Rate, tokens: t.Burst}
+}
+
+// FixedReservation: the gate reserves no bandwidth.
+func (t *tokenBucketPolicy) FixedReservation(Config) float64 { return 0 }
+
+func (t *tokenBucketPolicy) DecideNew(ctx *PolicyContext) Decision {
+	// Refill on simulation time. DecideNew runs serialized per cell, so
+	// the bucket needs no lock.
+	if dt := ctx.Now - t.last; dt > 0 {
+		t.tokens = math.Min(t.Burst, t.tokens+dt*t.Rate)
+	}
+	t.last = ctx.Now
+	if t.tokens < 1 {
+		return Decision{} // shed: overload gate closed
+	}
+	t.tokens--
+	return Decision{Admitted: ctx.Committed()+ctx.Bandwidth <= ctx.Capacity()}
+}
+
+func (t *tokenBucketPolicy) DecideHandOff(ctx *PolicyContext) Decision {
+	return handOffRoomDecision(ctx)
+}
+
+func (t *tokenBucketPolicy) ValidateConfig(Config) error {
+	if t.Burst < 1 || t.Rate <= 0 {
+		return fmt.Errorf("core: token-bucket burst=%v rate=%v invalid", t.Burst, t.Rate)
+	}
+	return nil
+}
+
+func init() {
+	RegisterPolicy("guard-dynamic", func() AdmissionPolicy { return defaultGuardDynamic() })
+	RegisterPolicy("multi-class", func() AdmissionPolicy { return multiClassPolicy{} })
+	RegisterPolicy("token-bucket", func() AdmissionPolicy { return defaultTokenBucket() })
+}

@@ -335,7 +335,24 @@ func (e *Estimator) Evicted() uint64 { return e.evicted }
 // Record caches a hand-off event quadruplet. Events must arrive in
 // non-decreasing T_event order (simulation time is monotone); Record
 // panics otherwise, and on negative sojourns.
-func (e *Estimator) Record(q Quadruplet) {
+//
+// The return value reports whether the record is *selection-visible*:
+// whether any sample selection the estimator serves can differ from
+// before. Under a stationary configuration (infinite T_int) the
+// selection of the affected (prev, next) pair is the multiset of its
+// newest N_quad sojourns with uniform weight, so recording into a full
+// pair a sojourn equal to the one evicted leaves every query —
+// probabilities, survivor weights, breakpoints, max sojourn —
+// bit-identical, and Record returns false. Generation-keyed caches may
+// then adopt the new generation instead of rebuilding. Windowed
+// configurations always return true: selections there depend on event
+// times, not just sojourn values.
+//
+// To make the post-Record generation stable for such adoption, the
+// stationary path rebuilds the pair's selection eagerly (it is
+// query-time-independent); the generation a caller observes after
+// Record is then final until the next mutation.
+func (e *Estimator) Record(q Quadruplet) bool {
 	if q.Sojourn < 0 || math.IsNaN(q.Sojourn) {
 		panic(fmt.Sprintf("predict: bad sojourn %v", q.Sojourn))
 	}
@@ -350,11 +367,22 @@ func (e *Estimator) Record(q Quadruplet) {
 	if p == nil {
 		p = e.addPair(q.Prev, q.Next)
 	}
+	stationary := math.IsInf(e.cfg.Tint, 1)
+	visible := true
+	if stationary && len(p.raw) > 0 && len(p.raw) == e.cfg.NQuad && p.raw[0].sojourn == q.Sojourn {
+		// The append below evicts exactly p.raw[0]; trading it for an
+		// equal sojourn leaves the selected multiset unchanged.
+		visible = false
+	}
 	p.raw = append(p.raw, sample{event: q.Event, sojourn: q.Sojourn})
 	e.recorded++
 	e.prune(p, q.Event)
 	p.dirty = true
 	e.gen++
+	if stationary {
+		e.rebuildPair(p, q.Event)
+	}
+	return visible
 }
 
 // prune applies the paper's cache-management rules to one pair at the

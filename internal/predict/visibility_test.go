@@ -1,0 +1,101 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRecordSelectionVisibility pins Record's return value: under a
+// stationary configuration, recording into a full pair a sojourn equal
+// to the one being evicted is invisible to every query the estimator
+// serves and Record reports false; any other stationary record, and
+// every windowed record, reports true.
+func TestRecordSelectionVisibility(t *testing.T) {
+	cfg := Config{Tint: math.Inf(1), NQuad: 3}
+	e := New(cfg)
+	// Filling the pair is always visible.
+	for i, soj := range []float64{30, 30, 30} {
+		if !e.Record(Quadruplet{Event: float64(i), Prev: 1, Next: 2, Sojourn: soj}) {
+			t.Fatalf("record %d into non-full pair reported invisible", i)
+		}
+	}
+	// The pair is full of 30s; FIFO eviction drops a 30. Recording
+	// another 30 replaces like with like: invisible.
+	if e.Record(Quadruplet{Event: 10, Prev: 1, Next: 2, Sojourn: 30}) {
+		t.Fatal("equal-sojourn replacement reported visible")
+	}
+	// A different sojourn changes the selection multiset: visible.
+	if !e.Record(Quadruplet{Event: 11, Prev: 1, Next: 2, Sojourn: 45}) {
+		t.Fatal("sojourn change reported invisible")
+	}
+	// The pair now holds [30, 30, 45] oldest-first; evicting a 30 while
+	// adding a 30 is invisible even though the pair is not uniform.
+	if e.Record(Quadruplet{Event: 12, Prev: 1, Next: 2, Sojourn: 30}) {
+		t.Fatal("equal-to-evicted replacement reported visible")
+	}
+	// [30, 45, 30]: a 50 evicts the oldest 30 — visible — leaving
+	// [45, 30, 50] with the 45 oldest.
+	if !e.Record(Quadruplet{Event: 13, Prev: 1, Next: 2, Sojourn: 50}) {
+		t.Fatal("new sojourn value reported invisible")
+	}
+	// Recording a 30 now evicts the 45: visible even though the pair
+	// already contains 30s — the multiset changes.
+	if !e.Record(Quadruplet{Event: 14, Prev: 1, Next: 2, Sojourn: 30}) {
+		t.Fatal("eviction of a different sojourn reported invisible")
+	}
+}
+
+// TestInvisibleRecordQueriesIdentical verifies the claim behind the
+// visibility report: after an invisible record, every query is
+// bit-identical to before.
+func TestInvisibleRecordQueriesIdentical(t *testing.T) {
+	cfg := Config{Tint: math.Inf(1), NQuad: 2}
+	e := New(cfg)
+	e.Record(Quadruplet{Event: 0, Prev: 1, Next: 2, Sojourn: 30})
+	e.Record(Quadruplet{Event: 1, Prev: 1, Next: 2, Sojourn: 60})
+	e.Record(Quadruplet{Event: 2, Prev: 1, Next: 1, Sojourn: 40})
+
+	type snapshot struct {
+		prob, surv, probOther, maxSoj float64
+	}
+	take := func() snapshot {
+		return snapshot{
+			prob:      e.HandOffProb(100, 1, 0, 35, 2),
+			surv:      e.SurvivorWeight(100, 1, 10),
+			probOther: e.HandOffProb(100, 1, 5, 50, 1),
+			maxSoj:    e.MaxSojourn(100),
+		}
+	}
+	before := take()
+	// Pair (1,2) is full holding {30, 60}; oldest is 30. Record a 30.
+	if e.Record(Quadruplet{Event: 50, Prev: 1, Next: 2, Sojourn: 30}) {
+		t.Fatal("replacement record reported visible")
+	}
+	if after := take(); after != before {
+		t.Fatalf("queries moved after invisible record:\nbefore %+v\nafter  %+v", before, after)
+	}
+}
+
+// TestRecordWindowedAlwaysVisible: finite-T_int selections depend on
+// event times, so every record must report visible.
+func TestRecordWindowedAlwaysVisible(t *testing.T) {
+	cfg := Config{Tint: 3600, Period: 86400, NQuad: 2, Weights: []float64{1}}
+	e := New(cfg)
+	for i, soj := range []float64{30, 30, 30, 30} {
+		if !e.Record(Quadruplet{Event: float64(i), Prev: 1, Next: 2, Sojourn: soj}) {
+			t.Fatalf("windowed record %d reported invisible", i)
+		}
+	}
+}
+
+// TestPatternSetRecordPropagatesVisibility: the day-class router must
+// return its estimator's report, not invent one.
+func TestPatternSetRecordPropagatesVisibility(t *testing.T) {
+	ps := NewPatternSet(Config{Tint: math.Inf(1), NQuad: 1}, nil)
+	if !ps.Record(Quadruplet{Event: 0, Prev: 1, Next: 2, Sojourn: 30}) {
+		t.Fatal("first record through PatternSet reported invisible")
+	}
+	if ps.Record(Quadruplet{Event: 1, Prev: 1, Next: 2, Sojourn: 30}) {
+		t.Fatal("replacement through PatternSet reported visible")
+	}
+}
