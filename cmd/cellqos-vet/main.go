@@ -1,23 +1,34 @@
 // Command cellqos-vet is the multichecker for the repo's custom
 // go/analysis suite (internal/analysis/suite): nodeterm, maporderflow,
-// peervalue, deprecated and genepoch — the machine-checked forms of
-// the determinism, degradation and API invariants DESIGN.md §12
-// documents.
+// peervalue, deprecated, genepoch, policycontract, shardsafe,
+// crashorder and allowstale — the machine-checked forms of the
+// determinism, degradation, API, policy-contract and crash-ordering
+// invariants DESIGN.md §12 documents.
 //
 // It runs in two modes:
 //
 //   - vettool: `go vet -vettool=$(pwd)/bin/cellqos-vet ./...` — the go
 //     command drives it per package through the unitchecker protocol
 //     (a JSON .cfg file naming sources and export data), giving
-//     incremental caching for free. This is what `make lint` uses.
-//     The protocol (-V=full fingerprinting, -flags discovery, the
-//     Config schema) is reimplemented here on the standard library
-//     because x/tools is unavailable in the hermetic build.
+//     incremental caching for free. The protocol (-V=full
+//     fingerprinting, -flags discovery, the Config schema) is
+//     reimplemented here on the standard library because x/tools is
+//     unavailable in the hermetic build.
 //
-//   - standalone: `cellqos-vet [-tests=false] [patterns...]` — loads
-//     packages itself via `go list -export` (internal/analysis.Load)
-//     and sweeps them in one process. Used by the suite's repo-wide
-//     regression test and for ad-hoc runs.
+//   - standalone: `cellqos-vet [-tests=false] [-json] [-baseline file]
+//     [patterns...]` — loads packages itself via `go list -export`
+//     (internal/analysis.Load) and sweeps them in one process. This is
+//     what `make lint` uses (the baseline ratchet needs the whole
+//     module's findings in one process), plus the suite's repo-wide
+//     regression test and ad-hoc runs.
+//
+// With -baseline, findings fingerprinted in the file are suppressed
+// and only new ones fail the run; stale entries (fingerprints no
+// longer reported) are advisory on stderr. -update-baseline rewrites
+// the file from the current findings (`make lint-update-baseline`).
+// Fingerprints hash analyzer, category, root-relative file, message
+// and an occurrence index — no line numbers, so gofmt-only moves do
+// not churn the baseline.
 //
 // Exit status: 0 clean, 1 operational error, 2 diagnostics reported.
 // Diagnostics honor the //cellqos:allow escape hatch (see DESIGN.md
@@ -205,12 +216,19 @@ func standalone(args []string) int {
 	tests := fs.Bool("tests", true, "also analyze _test.go files (test-augmented package variants)")
 	dir := fs.String("dir", ".", "module directory to resolve patterns in")
 	jsonOut := fs.Bool("json", false, "emit findings as JSON instead of vet-style lines")
+	baselinePath := fs.String("baseline", "", "suppress findings fingerprinted in this baseline file; fail only on new ones")
+	update := fs.Bool("update-baseline", false, "rewrite the -baseline file from the current findings and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+	root, err := filepath.Abs(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cellqos-vet: %v\n", err)
+		return 1
 	}
 	pkgs, err := analysis.Load(*dir, *tests, patterns...)
 	if err != nil {
@@ -222,18 +240,39 @@ func standalone(args []string) int {
 		fmt.Fprintf(os.Stderr, "cellqos-vet: %v\n", err)
 		return 1
 	}
+
+	if *update {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "cellqos-vet: -update-baseline requires -baseline <file>")
+			return 1
+		}
+		b := analysis.NewBaseline(findings, root)
+		if err := b.Write(*baselinePath); err != nil {
+			fmt.Fprintf(os.Stderr, "cellqos-vet: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "cellqos-vet: wrote %s (%d findings)\n", *baselinePath, len(b.Findings))
+		return 0
+	}
+	if *baselinePath != "" {
+		b, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cellqos-vet: %v\n", err)
+			return 1
+		}
+		fresh, known, stale := b.Filter(findings, root)
+		if len(known) > 0 {
+			fmt.Fprintf(os.Stderr, "cellqos-vet: %d finding(s) suppressed by baseline %s\n", len(known), *baselinePath)
+		}
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "cellqos-vet: stale baseline entry %s (%s at %s:%d): finding no longer reported — run `make lint-update-baseline`\n",
+				e.Fingerprint, e.Analyzer, e.File, e.Line)
+		}
+		findings = fresh
+	}
+
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "\t")
-		type finding struct {
-			Analyzer, File, Message string
-			Line, Column            int
-		}
-		out := make([]finding, 0, len(findings))
-		for _, f := range findings {
-			out = append(out, finding{f.Analyzer, f.Posn.Filename, f.Message, f.Posn.Line, f.Posn.Column})
-		}
-		if err := enc.Encode(out); err != nil {
+		if err := emitJSON(os.Stdout, findings, root); err != nil {
 			fmt.Fprintf(os.Stderr, "cellqos-vet: %v\n", err)
 			return 1
 		}
@@ -243,6 +282,44 @@ func standalone(args []string) int {
 		return 0
 	}
 	return report(findings)
+}
+
+// jsonFinding is the machine-readable finding schema (`-json`). File is
+// module-root-relative with forward slashes, and the fingerprint is the
+// same position-independent hash `-baseline` files store, so CI
+// artifacts diff cleanly against baselines and across gofmt-only moves.
+type jsonFinding struct {
+	Analyzer    string `json:"analyzer"`
+	Category    string `json:"category"`
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Column      int    `json:"column"`
+	EndLine     int    `json:"endLine,omitempty"`
+	EndColumn   int    `json:"endColumn,omitempty"`
+	Message     string `json:"message"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// emitJSON writes the findings as an indented JSON array.
+func emitJSON(w io.Writer, findings []analysis.Finding, root string) error {
+	prints := analysis.Fingerprints(findings, root)
+	out := make([]jsonFinding, 0, len(findings))
+	for i, f := range findings {
+		out = append(out, jsonFinding{
+			Analyzer:    f.Analyzer,
+			Category:    f.Category,
+			File:        analysis.RelFile(root, f.Posn.Filename),
+			Line:        f.Posn.Line,
+			Column:      f.Posn.Column,
+			EndLine:     f.End.Line,
+			EndColumn:   f.End.Column,
+			Message:     f.Message,
+			Fingerprint: prints[i],
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
 }
 
 // report prints findings vet-style to stderr; exit 2 if any.

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"cellqos/internal/analysis"
+)
+
+// TestEmitJSON pins the machine-readable schema: lower-case field
+// names, root-relative slash paths, end positions, and fingerprints
+// that match the baseline layer's.
+func TestEmitJSON(t *testing.T) {
+	findings := []analysis.Finding{
+		{
+			Analyzer: "shardsafe",
+			Category: "lookahead",
+			Posn:     token.Position{Filename: "/repo/internal/sim/a.go", Line: 10, Column: 3},
+			End:      token.Position{Filename: "/repo/internal/sim/a.go", Line: 10, Column: 20},
+			Message:  "Send time is not provably now+lookahead",
+		},
+		{
+			Analyzer: "crashorder",
+			Category: "writefile",
+			Posn:     token.Position{Filename: "/repo/internal/service/b.go", Line: 4, Column: 1},
+			Message:  "os.WriteFile onto a checkpoint path",
+		},
+	}
+	var sb strings.Builder
+	if err := emitJSON(&sb, findings, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonFinding
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2", len(got))
+	}
+	want := jsonFinding{
+		Analyzer:    "shardsafe",
+		Category:    "lookahead",
+		File:        "internal/sim/a.go",
+		Line:        10,
+		Column:      3,
+		EndLine:     10,
+		EndColumn:   20,
+		Message:     "Send time is not provably now+lookahead",
+		Fingerprint: analysis.Fingerprint("shardsafe", "lookahead", "internal/sim/a.go", "Send time is not provably now+lookahead", 0),
+	}
+	if got[0] != want {
+		t.Errorf("finding[0] = %+v, want %+v", got[0], want)
+	}
+	if got[1].EndLine != 0 || got[1].EndColumn != 0 {
+		t.Errorf("finding[1] has end position %d:%d, want omitted", got[1].EndLine, got[1].EndColumn)
+	}
+	// The raw JSON must use the lower-case keys CI tooling greps for.
+	for _, key := range []string{`"analyzer"`, `"category"`, `"file"`, `"fingerprint"`, `"endLine"`} {
+		if !strings.Contains(sb.String(), key) {
+			t.Errorf("JSON output missing key %s:\n%s", key, sb.String())
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package allowstale_test
+
+import (
+	"testing"
+
+	"cellqos/internal/analysis"
+	"cellqos/internal/analysis/allowstale"
+	"cellqos/internal/analysis/analysistest"
+	"cellqos/internal/analysis/nodeterm"
+)
+
+// TestAllowStale runs allowstale beside nodeterm: staleness only exists
+// relative to the other analyzers in the same run, so the fixture goes
+// through RunSuite rather than a single-analyzer Run.
+func TestAllowStale(t *testing.T) {
+	analysistest.RunSuite(t, "testdata",
+		[]*analysis.Analyzer{nodeterm.Analyzer, allowstale.Analyzer},
+		"cellqos/internal/allowfix")
+}
+
+// TestAloneIsSilent: without other analyzers in the run, no directive
+// can be judged stale (nothing executed could have used it), and the
+// only findings left are missing justifications.
+func TestAloneIsSilent(t *testing.T) {
+	findings, err := analysis.RunAnalyzers(nil, []*analysis.Analyzer{allowstale.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("allowstale over zero packages reported %v", findings)
+	}
+}

@@ -1,8 +1,9 @@
 // Package analysis is a minimal, dependency-free reimplementation of
 // the golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass,
 // Diagnostic) plus the cellqos-specific pieces shared by every
-// analyzer: the //cellqos:allow suppression index and the repo-wide
-// runner.
+// analyzer: the //cellqos:allow suppression index, the allow-staleness
+// ledger behind the allowstale analyzer, the baseline fingerprints
+// behind `cellqos-vet -baseline`, and the repo-wide runner.
 //
 // The hermetic build environment bakes in only the Go toolchain — no
 // module proxy, no vendored x/tools — so the framework is written
@@ -12,9 +13,11 @@
 // analyzer ports by changing one import line.
 //
 // Analyzers live in subpackages (nodeterm, maporderflow, peervalue,
-// deprecated, genepoch — see suite.Analyzers for the full set) and are
-// driven either by cmd/cellqos-vet (standalone or as a `go vet
-// -vettool`) or by the analysistest fixture harness.
+// deprecated, genepoch, policycontract, shardsafe, crashorder,
+// allowstale — see suite.Analyzers for the full set) and are driven
+// either by cmd/cellqos-vet (standalone or as a `go vet -vettool`) or
+// by the analysistest fixture harness. Shared dataflow and callgraph
+// helpers live in the flow subpackage.
 package analysis
 
 import (
@@ -56,23 +59,52 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// ReportRangef reports a formatted diagnostic spanning a node, tagged
+// with a per-check category (stable across message rewording — the
+// baseline fingerprints hash it).
+func (p *Pass) ReportRangef(rng ast.Node, category, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos:      rng.Pos(),
+		End:      rng.End(),
+		Category: category,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // A Diagnostic is one finding within the package under analysis.
 type Diagnostic struct {
-	Pos     token.Pos
-	Message string
+	Pos token.Pos
+	// End is the exclusive end of the offending range; NoPos when the
+	// analyzer only knows a point.
+	End token.Pos
+	// Category names the sub-check within the analyzer ("lookahead",
+	// "renameorder", ...). Empty defaults to the analyzer name.
+	Category string
+	Message  string
 }
 
 // A Finding is a resolved diagnostic: position turned into a
 // token.Position and tagged with the analyzer that produced it.
 type Finding struct {
 	Analyzer string
+	Category string
 	Posn     token.Position
-	Message  string
+	// End is the resolved end position (zero Position when unknown).
+	End     token.Position
+	Message string
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s [%s]", f.Posn, f.Message, f.Analyzer)
 }
+
+// AllowStaleName is the reserved analyzer name under which RunAnalyzers
+// reports escape-hatch hygiene findings: stale //cellqos:allow
+// annotations that suppress nothing, and annotations missing their
+// mandatory justification. The allowstale subpackage registers an
+// Analyzer by this name whose Run is empty — the real work needs the
+// whole suite's suppression ledger, which only the driver has.
+const AllowStaleName = "allowstale"
 
 // AllowDirective is the comment prefix of the escape hatch. A comment
 //
@@ -80,50 +112,69 @@ func (f Finding) String() string {
 //
 // suppresses nodeterm diagnostics on the offending line. The
 // annotation sits either at the end of that line (covers its own line)
-// or on its own line directly above (covers the next line) — never
+// or on its own line directly above (covers the line below) — never
 // both, so a trailing annotation cannot blanket the statement below.
 // Several analyzers may be named, comma-separated; everything after
 // the first space is a free-form justification, which the review
-// policy in DESIGN.md §12 requires.
+// policy in DESIGN.md §12 requires (and the allowstale analyzer now
+// machine-checks).
 const AllowDirective = "//cellqos:allow"
 
-// AllowIndex maps file name → line → set of analyzer names allowed on
-// that line.
-type AllowIndex map[string]map[int]map[string]bool
+// allowName is one analyzer name within a directive, with its usage
+// ledger: whether it ever suppressed a diagnostic in this run.
+type allowName struct {
+	name string
+	used bool
+}
+
+// allowDirective is one parsed //cellqos:allow comment.
+type allowDirective struct {
+	pos       token.Pos
+	names     []*allowName
+	justified bool
+}
+
+// AllowIndex resolves each //cellqos:allow directive to the single
+// line it covers and keeps the per-name usage ledger the allowstale
+// analyzer reads.
+type AllowIndex struct {
+	// byLine: file name → covered line → entries allowed on that line.
+	byLine     map[string]map[int][]*allowName
+	directives []*allowDirective
+}
 
 // BuildAllowIndex scans every comment in files for allow directives. A
 // trailing annotation (code precedes it on the line) covers exactly
 // its own line; an own-line annotation covers the line below it — so
 // an end-of-line annotation can never silently blanket the next
 // statement.
-func BuildAllowIndex(fset *token.FileSet, files []*ast.File) AllowIndex {
-	idx := AllowIndex{}
+func BuildAllowIndex(fset *token.FileSet, files []*ast.File) *AllowIndex {
+	idx := &AllowIndex{byLine: map[string]map[int][]*allowName{}}
 	for _, f := range files {
 		codeCols := earliestCodeColumns(fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				names, ok := parseAllow(c.Text)
+				names, justification, ok := parseAllow(c.Text)
 				if !ok {
 					continue
 				}
+				d := &allowDirective{pos: c.Pos(), justified: justification != ""}
+				for _, n := range names {
+					d.names = append(d.names, &allowName{name: n})
+				}
+				idx.directives = append(idx.directives, d)
+
 				posn := fset.Position(c.Pos())
 				line := posn.Line
 				if col, hasCode := codeCols[line]; !hasCode || col >= posn.Column {
 					line++ // own-line annotation: covers the next line
 				}
-				lines := idx[posn.Filename]
+				lines := idx.byLine[posn.Filename]
 				if lines == nil {
-					lines = map[int]map[string]bool{}
-					idx[posn.Filename] = lines
+					lines = map[int][]*allowName{}
+					idx.byLine[posn.Filename] = lines
 				}
-				set := lines[line]
-				if set == nil {
-					set = map[string]bool{}
-					lines[line] = set
-				}
-				for _, n := range names {
-					set[n] = true
-				}
+				lines[line] = append(lines[line], d.names...)
 			}
 		}
 	}
@@ -149,41 +200,103 @@ func earliestCodeColumns(fset *token.FileSet, f *ast.File) map[int]int {
 	return cols
 }
 
-// parseAllow extracts the analyzer names from one comment text.
-func parseAllow(text string) ([]string, bool) {
+// parseAllow extracts the analyzer names and justification from one
+// comment text.
+func parseAllow(text string) (names []string, justification string, ok bool) {
 	rest, ok := strings.CutPrefix(text, AllowDirective)
 	if !ok {
-		return nil, false
+		return nil, "", false
 	}
 	rest = strings.TrimSpace(rest)
 	// The name list ends at the first space; the remainder is the
 	// justification.
 	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		justification = strings.TrimSpace(rest[i:])
 		rest = rest[:i]
 	}
 	if rest == "" {
-		return nil, false
+		return nil, "", false
 	}
-	return strings.Split(rest, ","), true
+	return strings.Split(rest, ","), justification, true
 }
 
 // Suppressed reports whether a diagnostic from the named analyzer at
-// pos is covered by an allow directive. BuildAllowIndex has already
-// resolved each directive to the single line it covers (its own line
-// for trailing annotations, the line below for own-line ones).
-func (idx AllowIndex) Suppressed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
-	if len(idx) == 0 {
+// pos is covered by an allow directive, and marks the covering entry
+// used in the staleness ledger. BuildAllowIndex has already resolved
+// each directive to the single line it covers (its own line for
+// trailing annotations, the line below for own-line ones).
+func (idx *AllowIndex) Suppressed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	if len(idx.byLine) == 0 {
 		return false
 	}
 	posn := fset.Position(pos)
-	set := idx[posn.Filename][posn.Line]
-	return set[analyzer] || set["all"]
+	hit := false
+	for _, entry := range idx.byLine[posn.Filename][posn.Line] {
+		if entry.name == analyzer || entry.name == "all" {
+			entry.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// staleFindings turns the usage ledger into allowstale diagnostics for
+// one package: directives that suppressed nothing any executed analyzer
+// reported, and directives missing their mandatory justification. A
+// name the executed set does not contain is skipped — a fixture run of
+// one analyzer must not condemn annotations for the other eight — so
+// staleness is only judged by drivers running the full suite.
+// Findings are themselves suppressible: a trailing directive that also
+// names allowstale covers its own line.
+func (idx *AllowIndex) staleFindings(fset *token.FileSet, executed map[string]bool) []Finding {
+	var out []Finding
+	emit := func(pos token.Pos, category, msg string) {
+		if idx.Suppressed(fset, AllowStaleName, pos) {
+			return
+		}
+		out = append(out, Finding{
+			Analyzer: AllowStaleName,
+			Category: category,
+			Posn:     fset.Position(pos),
+			Message:  msg,
+		})
+	}
+	for _, d := range idx.directives {
+		if !d.justified {
+			emit(d.pos, "justification",
+				"//cellqos:allow without a justification: state why the rule does not apply (DESIGN.md §12 makes the reason mandatory)")
+		}
+		for _, n := range d.names {
+			if n.used {
+				continue
+			}
+			if n.name != "all" && !executed[n.name] {
+				continue
+			}
+			emit(d.pos, "stale", fmt.Sprintf(
+				"//cellqos:allow %s suppresses no diagnostic: the finding it excused is gone — delete the annotation to keep the escape-hatch ledger honest", n.name))
+		}
+	}
+	return out
 }
 
 // RunAnalyzers applies every analyzer to every package and returns the
 // unsuppressed findings sorted by position. Analyzer errors abort the
 // run — a broken analyzer must not pass silently as "no findings".
+//
+// When the set includes the allowstale analyzer (by name), the driver
+// additionally audits each package's //cellqos:allow directives after
+// the other analyzers ran: an annotation that suppressed nothing, or
+// one missing its justification, becomes an allowstale finding.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	executed := map[string]bool{}
+	auditAllows := false
+	for _, a := range analyzers {
+		executed[a.Name] = true
+		if a.Name == AllowStaleName {
+			auditAllows = true
+		}
+	}
 	var findings []Finding
 	for _, pkg := range pkgs {
 		idx := BuildAllowIndex(pkg.Fset, pkg.Files)
@@ -200,15 +313,27 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				if idx.Suppressed(pkg.Fset, name, d.Pos) {
 					return
 				}
-				findings = append(findings, Finding{
+				category := d.Category
+				if category == "" {
+					category = name
+				}
+				f := Finding{
 					Analyzer: name,
+					Category: category,
 					Posn:     pkg.Fset.Position(d.Pos),
 					Message:  d.Message,
-				})
+				}
+				if d.End.IsValid() {
+					f.End = pkg.Fset.Position(d.End)
+				}
+				findings = append(findings, f)
 			}
 			if _, err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 			}
+		}
+		if auditAllows {
+			findings = append(findings, idx.staleFindings(pkg.Fset, executed)...)
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {

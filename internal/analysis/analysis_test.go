@@ -20,18 +20,19 @@ func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
 
 func TestParseAllow(t *testing.T) {
 	cases := []struct {
-		text string
-		want []string
+		text          string
+		want          []string
+		justification string
 	}{
-		{"//cellqos:allow nodeterm", []string{"nodeterm"}},
-		{"//cellqos:allow nodeterm wall-clock is fine here", []string{"nodeterm"}},
-		{"//cellqos:allow nodeterm,genepoch staged migration", []string{"nodeterm", "genepoch"}},
-		{"//cellqos:allow", nil},
-		{"// cellqos:allow nodeterm", nil}, // directives must be unspaced
-		{"// plain comment", nil},
+		{"//cellqos:allow nodeterm", []string{"nodeterm"}, ""},
+		{"//cellqos:allow nodeterm wall-clock is fine here", []string{"nodeterm"}, "wall-clock is fine here"},
+		{"//cellqos:allow nodeterm,genepoch staged migration", []string{"nodeterm", "genepoch"}, "staged migration"},
+		{"//cellqos:allow", nil, ""},
+		{"// cellqos:allow nodeterm", nil, ""}, // directives must be unspaced
+		{"// plain comment", nil, ""},
 	}
 	for _, tc := range cases {
-		got, ok := parseAllow(tc.text)
+		got, justification, ok := parseAllow(tc.text)
 		if tc.want == nil {
 			if ok {
 				t.Errorf("parseAllow(%q) = %v, want no directive", tc.text, got)
@@ -40,6 +41,9 @@ func TestParseAllow(t *testing.T) {
 		}
 		if !ok || strings.Join(got, ",") != strings.Join(tc.want, ",") {
 			t.Errorf("parseAllow(%q) = %v,%v want %v", tc.text, got, ok, tc.want)
+		}
+		if justification != tc.justification {
+			t.Errorf("parseAllow(%q) justification = %q, want %q", tc.text, justification, tc.justification)
 		}
 	}
 }
@@ -129,5 +133,140 @@ var c = 3
 	}
 	if got := findings[0].String(); !strings.Contains(got, "x.go:4:5: var b [toy]") {
 		t.Errorf("Finding.String() = %q, want vet-style file:line:col: message [analyzer]", got)
+	}
+}
+
+// toyVarAnalyzer reports every package-level var.
+func toyVarAnalyzer(name string) *Analyzer {
+	return &Analyzer{
+		Name: name,
+		Doc:  "report every package-level var",
+		Run: func(pass *Pass) (any, error) {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					gd, ok := d.(*ast.GenDecl)
+					if !ok {
+						continue
+					}
+					for _, s := range gd.Specs {
+						if vs, ok := s.(*ast.ValueSpec); ok {
+							pass.Reportf(vs.Pos(), "var %s", vs.Names[0].Name)
+						}
+					}
+				}
+			}
+			return nil, nil
+		},
+	}
+}
+
+func TestAllowStaleLedger(t *testing.T) {
+	src := `package p
+
+var a = 1 //cellqos:allow toy suppressed on purpose
+var b = 2 //cellqos:allow quiet stale: the quiet analyzer reports nothing
+var c = 3 //cellqos:allow notrun an analyzer outside the executed set
+var d = 4 //cellqos:allow toy
+`
+	fset, files := parseOne(t, src)
+	quiet := &Analyzer{Name: "quiet", Doc: "never reports", Run: func(*Pass) (any, error) { return nil, nil }}
+	stale := &Analyzer{Name: AllowStaleName, Doc: "driver-backed", Run: func(*Pass) (any, error) { return nil, nil }}
+	pkg := &Package{Path: "p", Fset: fset, Files: files}
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{toyVarAnalyzer("toy"), quiet, stale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Analyzer+"/"+f.Category+"@"+f.Posn.String()[strings.Index(f.Posn.String(), ":")+1:])
+	}
+	// Expected, position-sorted:
+	//   line 4: quiet's directive is stale (quiet ran and reported nothing);
+	//           var b itself (the quiet annotation does not name toy)
+	//   line 5: var c (notrun does not name toy); NO stale finding for
+	//           notrun — it is outside the executed set
+	//   line 6: toy suppressed var d, but the directive lacks a justification
+	want := []string{
+		"toy/toy@4:5",
+		"allowstale/stale@4:11",
+		"toy/toy@5:5",
+		"allowstale/justification@6:11",
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("findings = %v\nwant     %v\nfull: %v", got, want, findings)
+	}
+}
+
+func TestAllowStaleSingleAnalyzerRunsAreExempt(t *testing.T) {
+	// Without allowstale in the executed set, stale directives are not
+	// judged: a fixture run of one analyzer must not condemn
+	// annotations addressed to the other eight.
+	src := `package p
+
+var a = 1 //cellqos:allow quiet would be stale under the full suite
+`
+	fset, files := parseOne(t, src)
+	pkg := &Package{Path: "p", Fset: fset, Files: files}
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{toyVarAnalyzer("toy")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "toy" {
+		t.Errorf("findings = %v, want only toy's var a", findings)
+	}
+}
+
+func TestAllowStaleSelfSuppression(t *testing.T) {
+	src := `package p
+
+var a = 1 //cellqos:allow quiet,allowstale grandfathered during the staged cleanup
+`
+	fset, files := parseOne(t, src)
+	quiet := &Analyzer{Name: "quiet", Doc: "never reports", Run: func(*Pass) (any, error) { return nil, nil }}
+	stale := &Analyzer{Name: AllowStaleName, Doc: "driver-backed", Run: func(*Pass) (any, error) { return nil, nil }}
+	pkg := &Package{Path: "p", Fset: fset, Files: files}
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{quiet, stale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("findings = %v, want none: naming allowstale in the directive self-suppresses", findings)
+	}
+}
+
+func TestDiagnosticCategoryAndEnd(t *testing.T) {
+	src := `package p
+
+var long = 1
+`
+	fset, files := parseOne(t, src)
+	a := &Analyzer{
+		Name: "spans",
+		Doc:  "report the var with a range and category",
+		Run: func(pass *Pass) (any, error) {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if gd, ok := d.(*ast.GenDecl); ok {
+						pass.ReportRangef(gd, "decl", "whole decl")
+					}
+				}
+			}
+			return nil, nil
+		},
+	}
+	pkg := &Package{Path: "p", Fset: fset, Files: files}
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want 1", findings)
+	}
+	f := findings[0]
+	if f.Category != "decl" {
+		t.Errorf("Category = %q, want decl", f.Category)
+	}
+	if f.End.Line != 3 || f.End.Column <= f.Posn.Column {
+		t.Errorf("End = %v, want same-line end past start column %d", f.End, f.Posn.Column)
 	}
 }

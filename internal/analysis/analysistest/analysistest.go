@@ -44,6 +44,17 @@ import (
 // analyzer, comparing diagnostics against want comments.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
+	RunSuite(t, testdata, []*analysis.Analyzer{a}, pkgPaths...)
+}
+
+// RunSuite is Run for several analyzers at once: the fixture package is
+// analyzed by all of them in one RunAnalyzers call, so want comments
+// see the merged diagnostic stream. This is how allowstale is tested —
+// staleness only exists relative to the other analyzers in the same
+// run — and how cross-analyzer fixtures assert that one line trips
+// exactly the checks it should.
+func RunSuite(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
 	l := &loader{
 		testdata: testdata,
 		fset:     token.NewFileSet(),
@@ -56,7 +67,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", path, err)
 		}
-		check(t, a, pkg)
+		check(t, analyzers, pkg)
 	}
 }
 
@@ -137,13 +148,13 @@ type expectation struct {
 	matched bool
 }
 
-// check runs the analyzer on one fixture package and diffs findings
+// check runs the analyzers on one fixture package and diffs findings
 // against the package's want comments.
-func check(t *testing.T, a *analysis.Analyzer, pkg *analysis.Package) {
+func check(t *testing.T, analyzers []*analysis.Analyzer, pkg *analysis.Package) {
 	t.Helper()
-	findings, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	findings, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, analyzers)
 	if err != nil {
-		t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
+		t.Fatalf("analyzers on %s: %v", pkg.Path, err)
 	}
 	wants, err := collectWants(pkg)
 	if err != nil {
@@ -183,7 +194,7 @@ func collectWants(pkg *analysis.Package) ([]*expectation, error) {
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "// want ")
+				text, ok := wantPayload(c.Text)
 				if !ok {
 					continue
 				}
@@ -209,6 +220,24 @@ func collectWants(pkg *analysis.Package) ([]*expectation, error) {
 		return wants[i].line < wants[j].line
 	})
 	return wants, nil
+}
+
+// wantPayload extracts the pattern list from a want comment. The usual
+// form is a line comment `// want ...`; the block form `/* want ... */`
+// exists for lines whose trailing line comment is already claimed by a
+// //cellqos:allow directive (a // comment runs to end of line, so the
+// two cannot share one) — allowstale fixtures assert on the directive's
+// own line this way.
+func wantPayload(text string) (string, bool) {
+	if rest, ok := strings.CutPrefix(text, "// want "); ok {
+		return rest, true
+	}
+	if rest, ok := strings.CutPrefix(text, "/* want "); ok {
+		if inner, ok := strings.CutSuffix(rest, "*/"); ok {
+			return strings.TrimSpace(inner), true
+		}
+	}
+	return "", false
 }
 
 // parsePatterns splits a want payload into its quoted or backquoted

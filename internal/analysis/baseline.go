@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Fingerprint identifies one finding stably across commits. It hashes
+// the analyzer, category, slash-separated root-relative file path,
+// message, and the finding's occurrence index among identical
+// (analyzer, category, file, message) tuples — deliberately NOT the
+// line or column, so gofmt-only moves and unrelated edits above the
+// finding keep the fingerprint stable. The occurrence index keeps two
+// textually identical findings in one file distinct while staying
+// order-stable (findings arrive position-sorted from RunAnalyzers).
+func Fingerprint(analyzer, category, relFile, message string, occurrence int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%d", analyzer, category, relFile, message, occurrence)
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// RelFile normalizes a finding's file path for fingerprinting: root-
+// relative when possible, always slash-separated.
+func RelFile(root, file string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && filepath.IsLocal(rel) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// Fingerprints computes the fingerprint for each finding in a
+// position-sorted slice, resolving occurrence indices. The result is
+// index-aligned with findings.
+func Fingerprints(findings []Finding, root string) []string {
+	seen := map[string]int{}
+	out := make([]string, len(findings))
+	for i, f := range findings {
+		key := f.Analyzer + "\x00" + f.Category + "\x00" + RelFile(root, f.Posn.Filename) + "\x00" + f.Message
+		occ := seen[key]
+		seen[key] = occ + 1
+		out[i] = Fingerprint(f.Analyzer, f.Category, RelFile(root, f.Posn.Filename), f.Message, occ)
+	}
+	return out
+}
+
+// A BaselineEntry records one accepted finding. Fingerprint alone
+// decides matching; the remaining fields exist so humans reviewing
+// lint-baseline.json can tell what each entry excuses.
+type BaselineEntry struct {
+	Fingerprint string `json:"fingerprint"`
+	Analyzer    string `json:"analyzer"`
+	Category    string `json:"category,omitempty"`
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Message     string `json:"message"`
+}
+
+// A Baseline is the checked-in ledger of known findings that
+// `cellqos-vet -baseline` suppresses. New findings (fingerprints not
+// in the ledger) still fail the run, so the gate ratchets: the debt
+// can shrink but never silently grow.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an error — an
+// empty ledger must be an explicit, checked-in decision.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// NewBaseline builds a ledger accepting exactly the given findings.
+func NewBaseline(findings []Finding, root string) *Baseline {
+	fps := Fingerprints(findings, root)
+	b := &Baseline{Version: 1, Findings: []BaselineEntry{}}
+	for i, f := range findings {
+		b.Findings = append(b.Findings, BaselineEntry{
+			Fingerprint: fps[i],
+			Analyzer:    f.Analyzer,
+			Category:    f.Category,
+			File:        RelFile(root, f.Posn.Filename),
+			Line:        f.Posn.Line,
+			Message:     f.Message,
+		})
+	}
+	return b
+}
+
+// Write serializes the baseline deterministically (entries sorted by
+// file, line, fingerprint) with a trailing newline.
+func (b *Baseline) Write(path string) error {
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Line != c.Line {
+			return a.Line < c.Line
+		}
+		return a.Fingerprint < c.Fingerprint
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits findings into new (not in the baseline) and known, and
+// additionally returns the stale ledger entries whose finding no
+// longer occurs — candidates for deletion via -update-baseline.
+func (b *Baseline) Filter(findings []Finding, root string) (fresh, known []Finding, stale []BaselineEntry) {
+	accepted := map[string]bool{}
+	for _, e := range b.Findings {
+		accepted[e.Fingerprint] = true
+	}
+	fps := Fingerprints(findings, root)
+	seen := map[string]bool{}
+	for i, f := range findings {
+		if accepted[fps[i]] {
+			known = append(known, f)
+			seen[fps[i]] = true
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	for _, e := range b.Findings {
+		if !seen[e.Fingerprint] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, known, stale
+}

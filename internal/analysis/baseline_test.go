@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mkFinding(analyzer, category, file string, line int, msg string) Finding {
+	return Finding{
+		Analyzer: analyzer,
+		Category: category,
+		Posn:     token.Position{Filename: file, Line: line, Column: 1},
+		Message:  msg,
+	}
+}
+
+func TestFingerprintsStableAcrossLineMoves(t *testing.T) {
+	root := "/repo"
+	before := []Finding{mkFinding("nodeterm", "wallclock", "/repo/a/b.go", 10, "time.Now outside internal/clock")}
+	after := []Finding{mkFinding("nodeterm", "wallclock", "/repo/a/b.go", 42, "time.Now outside internal/clock")}
+	if Fingerprints(before, root)[0] != Fingerprints(after, root)[0] {
+		t.Error("fingerprint changed when only the line number moved")
+	}
+}
+
+func TestFingerprintsDistinguishOccurrences(t *testing.T) {
+	root := "/repo"
+	fs := []Finding{
+		mkFinding("nodeterm", "wallclock", "/repo/a/b.go", 10, "same message"),
+		mkFinding("nodeterm", "wallclock", "/repo/a/b.go", 20, "same message"),
+		mkFinding("nodeterm", "wallclock", "/repo/a/c.go", 10, "same message"),
+	}
+	fps := Fingerprints(fs, root)
+	if fps[0] == fps[1] {
+		t.Error("two identical findings in one file share a fingerprint")
+	}
+	if fps[0] == fps[2] {
+		t.Error("findings in different files share a fingerprint")
+	}
+}
+
+func TestFingerprintsChangeWithCategory(t *testing.T) {
+	root := "/repo"
+	a := Fingerprints([]Finding{mkFinding("shardsafe", "lookahead", "/repo/x.go", 1, "m")}, root)[0]
+	b := Fingerprints([]Finding{mkFinding("shardsafe", "window", "/repo/x.go", 1, "m")}, root)[0]
+	if a == b {
+		t.Error("category does not influence the fingerprint")
+	}
+}
+
+func TestBaselineRoundTripAndFilter(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "lint-baseline.json")
+	old := mkFinding("crashorder", "writefile", filepath.Join(root, "svc.go"), 5, "os.WriteFile onto checkpoint path")
+	if err := NewBaseline([]Finding{old}, root).Write(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 1 || b.Findings[0].Analyzer != "crashorder" || b.Findings[0].File != "svc.go" {
+		t.Fatalf("round-tripped baseline = %+v", b.Findings)
+	}
+
+	fresh := mkFinding("shardsafe", "lookahead", filepath.Join(root, "net.go"), 9, "Send at below now+lookahead")
+	newF, known, stale := b.Filter([]Finding{old, fresh}, root)
+	if len(known) != 1 || known[0].Analyzer != "crashorder" {
+		t.Errorf("known = %v, want the baselined crashorder finding", known)
+	}
+	if len(newF) != 1 || newF[0].Analyzer != "shardsafe" {
+		t.Errorf("fresh = %v, want the shardsafe finding", newF)
+	}
+	if len(stale) != 0 {
+		t.Errorf("stale = %v, want none", stale)
+	}
+
+	// The old finding got fixed: its ledger entry is now stale.
+	newF, known, stale = b.Filter([]Finding{fresh}, root)
+	if len(newF) != 1 || len(known) != 0 {
+		t.Errorf("fresh=%v known=%v after fix", newF, known)
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "crashorder" {
+		t.Errorf("stale = %v, want the fixed crashorder entry", stale)
+	}
+}
+
+func TestLoadBaselineRejectsUnknownVersion(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"version":2,"findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("LoadBaseline accepted an unsupported version")
+	}
+}

@@ -1,0 +1,18 @@
+package crashorder_test
+
+import (
+	"testing"
+
+	"cellqos/internal/analysis/analysistest"
+	"cellqos/internal/analysis/crashorder"
+)
+
+func TestCrashOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", crashorder.Analyzer, "cellqos/internal/service")
+}
+
+// TestOutOfScopeSilent: the same shapes outside internal/service are
+// none of this analyzer's business.
+func TestOutOfScopeSilent(t *testing.T) {
+	analysistest.Run(t, "testdata", crashorder.Analyzer, "cellqos/internal/other")
+}

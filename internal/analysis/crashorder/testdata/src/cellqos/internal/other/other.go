@@ -1,0 +1,15 @@
+// Package other holds the same artifact-clobbering shapes outside
+// internal/service: the crashorder analyzer must stay silent here.
+package other
+
+import "os"
+
+// clobber would be a writefile finding inside internal/service.
+func clobber(data []byte) error {
+	return os.WriteFile("state/checkpoint.cqsc", data, 0o644)
+}
+
+// rawRename would be an order finding inside internal/service.
+func rawRename() error {
+	return os.Rename("state/checkpoint.cqsc.tmp", "state/checkpoint.cqsc")
+}

@@ -1,0 +1,135 @@
+// Package service is the crashorder fixture: the compliant
+// tmp→fsync→rename→dir-sync checkpoint sequence next to each way of
+// breaking it. The package path matters — the analyzer only activates
+// under internal/service.
+package service
+
+import (
+	"os"
+	"path/filepath"
+)
+
+const (
+	checkpointFile = "checkpoint.cqsc"
+	checkpointPrev = "checkpoint.cqsc.prev"
+	checkpointTmp  = "checkpoint.cqsc.tmp"
+)
+
+// saveOrdered is the real Checkpointer.Save shape: write+fsync the temp
+// file, rotate, commit, fsync the directory. Fully compliant.
+func saveOrdered(dir string, data []byte) error {
+	tmp := filepath.Join(dir, checkpointTmp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	cur := filepath.Join(dir, checkpointFile)
+	if _, err := os.Stat(cur); err == nil {
+		if err := os.Rename(cur, filepath.Join(dir, checkpointPrev)); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, cur); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// saveNoFsync commits a temp file that was never synced: the rename can
+// land while the data blocks are still only in the page cache.
+func saveNoFsync(dir string, data []byte) error {
+	tmp := filepath.Join(dir, checkpointTmp)
+	if err := writeRaw(tmp, data); err != nil {
+		return err
+	}
+	cur := filepath.Join(dir, checkpointFile)
+	if err := os.Rename(tmp, cur); err != nil { // want `checkpoint commit rename is not preceded by a Sync` `checkpoint commit rename is not followed by a Sync`
+		return err
+	}
+	return nil
+}
+
+// saveReordered fsyncs the temp file after the commit: the protocol
+// order inverted, both halves of the guarantee lost and regained in the
+// wrong order. The rename sees no Sync before it.
+func saveReordered(dir string, data []byte) error {
+	tmp := filepath.Join(dir, checkpointTmp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	cur := filepath.Join(dir, checkpointFile)
+	if err := os.Rename(tmp, cur); err != nil { // want `checkpoint commit rename is not preceded by a Sync`
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeInPlace clobbers the live artifact directly.
+func writeInPlace(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, checkpointFile), data, 0o644) // want `os.WriteFile onto a checkpoint path`
+}
+
+// pather mirrors the Checkpointer's path accessor.
+type pather struct{ dir string }
+
+func (p pather) CurrentPath() string { return filepath.Join(p.dir, checkpointFile) }
+
+// writeViaAccessor clobbers the live artifact through the accessor —
+// the shape a test corrupting checkpoints uses.
+func writeViaAccessor(p pather, data []byte) error {
+	return os.WriteFile(p.CurrentPath(), data, 0o644) // want `os.WriteFile onto a checkpoint path`
+}
+
+// writeExcused is the annotated deliberate corruption.
+func writeExcused(p pather, data []byte) error {
+	return os.WriteFile(p.CurrentPath(), data, 0o644) //cellqos:allow crashorder fixture: deliberate corruption to exercise the prev fallback
+}
+
+// writeUnrelated writes a non-checkpoint file: out of scope.
+func writeUnrelated(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, "metrics.json"), data, 0o644)
+}
+
+// renameUnrelated moves a log file: no checkpoint involved, no order
+// obligation.
+func renameUnrelated(dir string) error {
+	return os.Rename(filepath.Join(dir, "a.log"), filepath.Join(dir, "b.log"))
+}
+
+// writeRaw exists so saveNoFsync's write happens out of line (the
+// order check is intra-procedural on purpose).
+func writeRaw(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

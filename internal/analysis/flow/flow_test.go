@@ -1,0 +1,256 @@
+package flow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"cellqos/internal/analysis"
+)
+
+// typecheck parses and type-checks one file as a synthetic package and
+// wraps it in a Pass (no Report hook — flow never reports).
+func typecheck(t *testing.T, path, src string) *analysis.Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+}
+
+func funcNamed(t *testing.T, pass *analysis.Pass, name string) *types.Func {
+	t.Helper()
+	fn, ok := pass.Pkg.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("no function %q in test package", name)
+	}
+	return fn
+}
+
+func TestIndexAndReachable(t *testing.T) {
+	pass := typecheck(t, "p", `package p
+
+type widget struct{}
+
+func (w *widget) spin() { helper() }
+
+func root()    { mid(); skipped() }
+func mid()     { leaf() }
+func leaf()    {}
+func skipped() { leaf() }
+func helper()  {}
+func orphan()  {}
+`)
+	ix := NewIndex(pass)
+	root := funcNamed(t, pass, "root")
+	if ix.Decl(root) == nil {
+		t.Fatal("Decl(root) = nil")
+	}
+
+	names := func(fns []*types.Func) []string {
+		var out []string
+		for _, fn := range fns {
+			out = append(out, fn.Name())
+		}
+		return out
+	}
+
+	all := names(ix.Reachable([]*types.Func{root}, nil))
+	if got, want := len(all), 4; got != want {
+		t.Fatalf("Reachable = %v, want root,mid,skipped,leaf", all)
+	}
+	if all[0] != "root" || all[1] != "mid" || all[2] != "skipped" || all[3] != "leaf" {
+		t.Errorf("Reachable order = %v, want BFS discovery order", all)
+	}
+
+	filtered := names(ix.Reachable([]*types.Func{root}, func(fn *types.Func) bool {
+		return fn.Name() != "skipped"
+	}))
+	for _, n := range filtered {
+		if n == "skipped" {
+			t.Errorf("follow filter did not prune: %v", filtered)
+		}
+	}
+	if len(filtered) != 3 { // root, mid, leaf
+		t.Errorf("filtered Reachable = %v, want root,mid,leaf", filtered)
+	}
+}
+
+func TestMethodsOfAndReceiverBase(t *testing.T) {
+	pass := typecheck(t, "p", `package p
+
+type widget struct{}
+
+func (w *widget) Spin() {}
+func (w widget) Stop()  {}
+func free()             {}
+`)
+	ix := NewIndex(pass)
+	named := pass.Pkg.Scope().Lookup("widget").(*types.TypeName).Type().(*types.Named)
+	methods := ix.MethodsOf(named)
+	if len(methods) != 2 || methods["Spin"] == nil || methods["Stop"] == nil {
+		t.Errorf("MethodsOf(widget) = %v, want Spin and Stop", methods)
+	}
+	if ReceiverBase(funcNamed(t, pass, "free")) != nil {
+		t.Error("ReceiverBase(free) != nil for a plain function")
+	}
+}
+
+func TestSourcesAndResolve(t *testing.T) {
+	pass := typecheck(t, "p", `package p
+
+func f(now float64) float64 {
+	lat := 0.25
+	at := now + lat
+	mixed := 1.0
+	mixed = 2.0
+	return at + mixed
+}
+`)
+	ix := NewIndex(pass)
+	fd := ix.Decl(funcNamed(t, pass, "f"))
+	src := Sources(pass.TypesInfo, fd.Body)
+
+	// Find the `at + mixed` return expression's operands.
+	var ret *ast.ReturnStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			ret = r
+		}
+		return true
+	})
+	sum := ret.Results[0].(*ast.BinaryExpr)
+
+	// `at` has one source: it resolves to `now + lat`.
+	resolved := Resolve(src, pass.TypesInfo, sum.X, 4)
+	bin, ok := resolved.(*ast.BinaryExpr)
+	if !ok || bin.Op.String() != "+" {
+		t.Fatalf("Resolve(at) = %T %v, want the now+lat binary expr", resolved, resolved)
+	}
+	// `mixed` has two sources: it resolves to itself.
+	if got := Resolve(src, pass.TypesInfo, sum.Y, 4); got != sum.Y {
+		t.Errorf("Resolve(mixed) = %v, want the identifier itself (two sources)", got)
+	}
+}
+
+func TestSelectorClassification(t *testing.T) {
+	pass := typecheck(t, "p", `package p
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func f() {
+	_ = time.Now()
+	_ = time.Until(time.Time{})
+	_ = rand.Float64()
+	r := rand.New(rand.NewPCG(1, 2))
+	_ = r.Float64()
+}
+`)
+	type hit struct {
+		wall, rand string
+	}
+	var hits []hit
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			var h hit
+			if name, ok := WallClock(pass.TypesInfo, sel); ok {
+				h.wall = name
+			}
+			if kind, ok := GlobalRand(pass.TypesInfo, sel); ok {
+				h.rand = kind
+			}
+			if h != (hit{}) {
+				hits = append(hits, h)
+			}
+			return true
+		})
+	}
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v, want exactly time.Now and global rand.Float64", hits)
+	}
+	if hits[0].wall != "time.Now" {
+		t.Errorf("hits[0] = %v, want time.Now (time.Until is not a wall read)", hits[0])
+	}
+	if hits[1].rand != "Float64" {
+		t.Errorf("hits[1] = %v, want global Float64 (seeded r.Float64 exempt)", hits[1])
+	}
+}
+
+func TestLookupInterfaceAndImplementations(t *testing.T) {
+	pass := typecheck(t, "fixture/internal/core", `package core
+
+type Decider interface {
+	Decide() bool
+}
+
+type yes struct{}
+func (yes) Decide() bool { return true }
+
+type ptrYes struct{}
+func (*ptrYes) Decide() bool { return true }
+
+type no struct{}
+`)
+	iface := LookupInterface(pass, "internal/core", "Decider")
+	if iface == nil {
+		t.Fatal("LookupInterface failed on a path-suffix match")
+	}
+	impls := Implementations(pass, iface)
+	if len(impls) != 2 || impls[0].Obj().Name() != "ptrYes" || impls[1].Obj().Name() != "yes" {
+		t.Errorf("Implementations = %v, want ptrYes,yes in name order", impls)
+	}
+	if !Implements(impls[0], iface) {
+		t.Error("Implements(ptrYes) = false, pointer receiver should satisfy")
+	}
+}
+
+func TestConstStrings(t *testing.T) {
+	pass := typecheck(t, "p", `package p
+
+const checkpointFile = "checkpoint.cqsc"
+
+type ck struct{}
+
+func (ck) CurrentPath() string { return "" }
+
+func f(c ck) []string {
+	return []string{checkpointFile + ".tmp", c.CurrentPath()}
+}
+`)
+	ix := NewIndex(pass)
+	fd := ix.Decl(funcNamed(t, pass, "f"))
+	var lit ast.Expr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CompositeLit); ok {
+			lit = c
+		}
+		return true
+	})
+	got := map[string]bool{}
+	for _, s := range ConstStrings(pass.TypesInfo, lit) {
+		got[s] = true
+	}
+	for _, want := range []string{"checkpoint.cqsc", ".tmp", "currentpath", "checkpointfile"} {
+		if !got[want] {
+			t.Errorf("ConstStrings missing %q (got %v)", want, got)
+		}
+	}
+}

@@ -8,10 +8,10 @@ package nodeterm
 
 import (
 	"go/ast"
-	"go/types"
 	"strings"
 
 	"cellqos/internal/analysis"
+	"cellqos/internal/analysis/flow"
 )
 
 // Analyzer flags wall-clock and ambient-entropy reads: entropy rules
@@ -59,20 +59,6 @@ func inModule(path string) bool {
 	return path == "cellqos" || strings.HasPrefix(path, "cellqos/")
 }
 
-// globalRandV2 lists the math/rand/v2 top-level functions that draw
-// from the shared, randomly-seeded global source. Seeded generators
-// (rand.New(rand.NewPCG(seed, stream))) are the approved idiom and are
-// not flagged.
-var globalRandV2 = map[string]bool{
-	"Int": true, "Int32": true, "Int64": true,
-	"IntN": true, "Int32N": true, "Int64N": true, "N": true,
-	"Uint": true, "Uint32": true, "Uint64": true,
-	"UintN": true, "Uint32N": true, "Uint64N": true,
-	"Float32": true, "Float64": true,
-	"NormFloat64": true, "ExpFloat64": true,
-	"Perm": true, "Shuffle": true,
-}
-
 func inScope(path string) bool {
 	for _, p := range scopePrefixes {
 		if path == p || strings.HasPrefix(path, p+"/") {
@@ -95,30 +81,26 @@ func run(pass *analysis.Pass) (any, error) {
 			if !ok {
 				return true
 			}
-			obj := pass.TypesInfo.Uses[sel.Sel]
-			if obj == nil || obj.Pkg() == nil {
-				return true
+			// The flow classifiers only match package-level selections
+			// (pkg.Name), never field or method selections on values.
+			if name, isClock := flow.WallClock(pass.TypesInfo, sel); wallScope && isClock {
+				switch name {
+				case "time.Now":
+					pass.Reportf(sel.Pos(),
+						"time.Now is wall clock: deterministic code takes time from the simulation clock (sim.Scheduler) or event timestamps; everything else reads through internal/clock (clock.Wall, clock.Manual, clock.Bridge)")
+				case "time.Since":
+					pass.Reportf(sel.Pos(),
+						"time.Since is wall clock: measure elapsed time with clock.Clock.Since (internal/clock) so tests can drive it with clock.Manual")
+				}
 			}
-			// Only package-level selections (pkg.Name), not field or
-			// method selections on values.
-			if id, ok := sel.X.(*ast.Ident); !ok {
-				return true
-			} else if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); !isPkg {
-				return true
-			}
-			switch pkgPath := obj.Pkg().Path(); {
-			case wallScope && pkgPath == "time" && obj.Name() == "Now":
-				pass.Reportf(sel.Pos(),
-					"time.Now is wall clock: deterministic code takes time from the simulation clock (sim.Scheduler) or event timestamps; everything else reads through internal/clock (clock.Wall, clock.Manual, clock.Bridge)")
-			case wallScope && pkgPath == "time" && obj.Name() == "Since":
-				pass.Reportf(sel.Pos(),
-					"time.Since is wall clock: measure elapsed time with clock.Clock.Since (internal/clock) so tests can drive it with clock.Manual")
-			case entropyScope && pkgPath == "math/rand":
-				pass.Reportf(sel.Pos(),
-					"math/rand (v1) is banned in deterministic packages: use an explicitly seeded math/rand/v2 PCG stream (rand.New(rand.NewPCG(seed, stream)))")
-			case entropyScope && pkgPath == "math/rand/v2" && globalRandV2[obj.Name()]:
-				pass.Reportf(sel.Pos(),
-					"rand.%s draws from the process-global, randomly seeded source: use an explicitly seeded per-purpose PCG stream (rand.New(rand.NewPCG(seed, stream)))", obj.Name())
+			if kind, isRand := flow.GlobalRand(pass.TypesInfo, sel); entropyScope && isRand {
+				if kind == "v1" {
+					pass.Reportf(sel.Pos(),
+						"math/rand (v1) is banned in deterministic packages: use an explicitly seeded math/rand/v2 PCG stream (rand.New(rand.NewPCG(seed, stream)))")
+				} else {
+					pass.Reportf(sel.Pos(),
+						"rand.%s draws from the process-global, randomly seeded source: use an explicitly seeded per-purpose PCG stream (rand.New(rand.NewPCG(seed, stream)))", kind)
+				}
 			}
 			return true
 		})

@@ -1,0 +1,378 @@
+// Package policycontract machine-enforces the DESIGN.md §16
+// AdmissionPolicy contract on every implementation the package under
+// analysis declares:
+//
+//   - cellstate: a policy whose methods mutate receiver fields carries
+//     per-cell state and must implement core.CellStater, otherwise one
+//     registry value is shared by every cell and run;
+//   - shallowclone: CloneCellState must build a fresh instance (a
+//     composite literal of the policy type) and never return the
+//     receiver — a shallow hand-back aliases the prototype's state;
+//   - okflow: inside DecideNew/DecideHandOff (and the helpers they
+//     reach), every Peers/PeerValue read must consume its ok bool —
+//     fail closed, per the degraded-peer obligation;
+//   - entropy: no wall clock (time.Now/Since) or global RNG inside the
+//     decision path — policies must be deterministic given the seeded
+//     streams;
+//   - maprange: no ranging over a map inside the decision path — Go's
+//     random iteration order feeding a float accumulation breaks
+//     byte-determinism;
+//   - registry: RegisterPolicy is called from init only, with a
+//     literal, package-unique (case-insensitive) name, so the registry
+//     contents never depend on call timing or computed strings.
+//
+// The analyzer activates only where core.AdmissionPolicy is visible
+// (the package itself or a direct importer); everywhere else it is
+// silent.
+package policycontract
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cellqos/internal/analysis"
+	"cellqos/internal/analysis/flow"
+)
+
+// Analyzer enforces the AdmissionPolicy implementation contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "policycontract",
+	Doc: "enforce the DESIGN.md §16 AdmissionPolicy contract: per-cell mutable " +
+		"state requires CellStater with a deep CloneCellState, decision methods " +
+		"consume every Peers/PeerValue ok bool and stay free of wall clock, " +
+		"global rand, and map ranging, and RegisterPolicy runs only from init " +
+		"with a literal unique name",
+	Run: run,
+}
+
+const corePath = "internal/core"
+
+func run(pass *analysis.Pass) (any, error) {
+	iface := flow.LookupInterface(pass, corePath, "AdmissionPolicy")
+	if iface == nil {
+		return nil, nil
+	}
+	ix := flow.NewIndex(pass)
+	stater := flow.LookupInterface(pass, corePath, "CellStater")
+
+	checkRegistry(pass, ix)
+
+	seenFn := map[*types.Func]bool{} // shared decision helpers scan once
+	for _, impl := range flow.Implementations(pass, iface) {
+		methods := ix.MethodsOf(impl)
+		checkCellState(pass, impl, methods, stater)
+		checkDecisionPath(pass, ix, impl, methods, seenFn)
+	}
+	return nil, nil
+}
+
+func report(pass *analysis.Pass, rng ast.Node, category, format string, args ...any) {
+	pass.ReportRangef(rng, category, format, args...)
+}
+
+// ---------------------------------------------------------------------
+// cellstate + shallowclone
+
+// checkCellState requires CellStater on mutating policies and audits
+// CloneCellState bodies for the deep-copy shape.
+func checkCellState(pass *analysis.Pass, impl *types.Named, methods map[string]*ast.FuncDecl, stater *types.Interface) {
+	node, method := firstReceiverMutation(pass, methods)
+	isStater := stater != nil && flow.Implements(impl, stater)
+	if node != nil && !isStater {
+		report(pass, node, "cellstate",
+			"policy %s mutates receiver state in %s but does not implement CellStater: without CloneCellState one registry value is shared by every cell (DESIGN.md §16)",
+			impl.Obj().Name(), method)
+	}
+	if !isStater {
+		return
+	}
+	clone := methods["CloneCellState"]
+	if clone == nil || clone.Body == nil {
+		return // inherited from an embedded type; audited where declared
+	}
+	fresh := false
+	ast.Inspect(clone.Body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[ast.Expr(cl)]; ok && namedBase(tv.Type) == impl.Obj() {
+			fresh = true
+		}
+		return true
+	})
+	recv := receiverObject(pass, clone)
+	ast.Inspect(clone.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok && recv != nil && pass.TypesInfo.Uses[id] == recv {
+				report(pass, ret, "shallowclone",
+					"CloneCellState of %s returns its receiver: the clone aliases the prototype's mutable state — build a fresh %s literal instead",
+					impl.Obj().Name(), impl.Obj().Name())
+			}
+		}
+		return true
+	})
+	if !fresh {
+		report(pass, clone.Name, "shallowclone",
+			"CloneCellState of %s never constructs a fresh %s: a deep per-cell clone must build a new composite literal copying the knobs and resetting mutable fields",
+			impl.Obj().Name(), impl.Obj().Name())
+	}
+}
+
+// firstReceiverMutation finds the earliest assignment (plain, compound,
+// or ++/--) to a field of the method receiver across the policy's
+// methods, excluding CloneCellState itself (initializing the clone is
+// the method's job).
+func firstReceiverMutation(pass *analysis.Pass, methods map[string]*ast.FuncDecl) (ast.Node, string) {
+	var node ast.Node
+	var method string
+	consider := func(n ast.Node, name string) {
+		if n != nil && (node == nil || n.Pos() < node.Pos()) {
+			node, method = n, name
+		}
+	}
+	for name, fd := range methods {
+		if name == "CloneCellState" || fd.Body == nil {
+			continue
+		}
+		recv := receiverObject(pass, fd)
+		if recv == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if selectsReceiver(pass, lhs, recv) {
+						consider(n, name)
+					}
+				}
+			case *ast.IncDecStmt:
+				if selectsReceiver(pass, n.X, recv) {
+					consider(n, name)
+				}
+			}
+			return true
+		})
+	}
+	return node, method
+}
+
+func receiverObject(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// selectsReceiver reports whether e is a (possibly nested) selector
+// rooted at the receiver object: g.guard, t.state.runs, ...
+func selectsReceiver(pass *analysis.Pass, e ast.Expr, recv types.Object) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x] == recv
+		default:
+			return false
+		}
+	}
+}
+
+func namedBase(t types.Type) *types.TypeName {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// okflow + entropy + maprange over the decision path
+
+// checkDecisionPath scans DecideNew and DecideHandOff plus every
+// package-local helper they reach — plain functions, or methods on the
+// policy type itself (engine/context methods are the framework's
+// responsibility, not the policy's).
+func checkDecisionPath(pass *analysis.Pass, ix *flow.Index, impl *types.Named, methods map[string]*ast.FuncDecl, seenFn map[*types.Func]bool) {
+	var roots []*types.Func
+	for _, name := range []string{"DecideNew", "DecideHandOff"} {
+		if fd := methods[name]; fd != nil {
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				roots = append(roots, fn)
+			}
+		}
+	}
+	follow := func(fn *types.Func) bool {
+		base := flow.ReceiverBase(fn)
+		return base == nil || base == impl.Obj()
+	}
+	for _, fn := range ix.Reachable(roots, follow) {
+		if seenFn[fn] {
+			continue
+		}
+		seenFn[fn] = true
+		scanDecisionFunc(pass, ix.Decl(fn), impl.Obj().Name())
+	}
+}
+
+func scanDecisionFunc(pass *analysis.Pass, fd *ast.FuncDecl, policy string) {
+	if fd == nil || fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if name, ok := flow.WallClock(pass.TypesInfo, n); ok {
+				report(pass, n, "entropy",
+					"%s on the decision path of policy %s: decisions must depend only on simulation state, never the wall clock", name, policy)
+			}
+			if kind, ok := flow.GlobalRand(pass.TypesInfo, n); ok {
+				what := "global math/rand"
+				if kind != "v1" {
+					what = "global rand." + kind
+				}
+				report(pass, n, "entropy",
+					"%s on the decision path of policy %s: draw from the run's seeded PCG streams, never ambient entropy", what, policy)
+			}
+		case *ast.RangeStmt:
+			if _, ok := pass.TypesInfo.TypeOf(n.X).Underlying().(*types.Map); ok {
+				report(pass, n, "maprange",
+					"map range on the decision path of policy %s: iteration order is randomized and poisons byte-determinism — iterate sorted keys", policy)
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if name, ok := okCarrierCall(pass, call); ok {
+					report(pass, call, "okflow",
+						"result of %s discarded on the decision path of policy %s: a degraded neighbor reports ok=false and the policy must fail closed", name, policy)
+				}
+			}
+		case *ast.AssignStmt:
+			checkBlankedOK(pass, n, policy)
+		}
+		return true
+	})
+}
+
+// checkBlankedOK flags `v, _ := peers.X(...)` / `v, _ := PeerValue(...)`.
+func checkBlankedOK(pass *analysis.Pass, assign *ast.AssignStmt, policy string) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := okCarrierCall(pass, call)
+	if !ok {
+		return
+	}
+	last, ok := assign.Lhs[len(assign.Lhs)-1].(*ast.Ident)
+	if !ok || last.Name != "_" {
+		return
+	}
+	report(pass, assign, "okflow",
+		"ok result of %s blanked on the decision path of policy %s: a degraded neighbor reports ok=false and the policy must fail closed", name, policy)
+}
+
+// peersMethods mirrors the core.Peers interface; matching is by name
+// plus trailing-bool signature, as in the peervalue analyzer.
+var peersMethods = map[string]bool{
+	"OutgoingReservation":  true,
+	"Snapshot":             true,
+	"RecomputeReservation": true,
+	"MaxSojourn":           true,
+}
+
+// okCarrierCall classifies a call whose trailing bool carries the
+// degraded-peer contract: a Peers-shaped method, or core.PeerValue.
+func okCarrierCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && peersMethods[sel.Sel.Name] {
+		if selection := pass.TypesInfo.Selections[sel]; selection != nil && selection.Kind() == types.MethodVal {
+			if trailingBool(selection.Type()) {
+				return sel.Sel.Name, true
+			}
+		}
+	}
+	if fn := flow.Callee(pass.TypesInfo, call); fn != nil && fn.Name() == "PeerValue" &&
+		fn.Pkg() != nil && flow.PathMatches(fn.Pkg().Path(), corePath) && trailingBool(fn.Type()) {
+		return "PeerValue", true
+	}
+	return "", false
+}
+
+func trailingBool(t types.Type) bool {
+	sig, ok := t.(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() < 2 {
+		return false
+	}
+	b, ok := res.At(res.Len() - 1).Type().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// ---------------------------------------------------------------------
+// registry
+
+// checkRegistry audits every RegisterPolicy call in the package: init
+// only, literal name, package-unique case-insensitively.
+func checkRegistry(pass *analysis.Pass, ix *flow.Index) {
+	seen := map[string]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inInit := fd.Recv == nil && fd.Name.Name == "init"
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := ix.Callee(call)
+				if fn == nil || fn.Name() != "RegisterPolicy" ||
+					fn.Pkg() == nil || !flow.PathMatches(fn.Pkg().Path(), corePath) {
+					return true
+				}
+				if !inInit {
+					report(pass, call, "registry",
+						"RegisterPolicy called from %s: the registry is populated from init only, so PolicyNames never depends on call timing", fd.Name.Name)
+				}
+				if len(call.Args) == 0 {
+					return true
+				}
+				lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					report(pass, call.Args[0], "registry",
+						"RegisterPolicy name is not a string literal: computed names defeat the duplicate check and static greps of the roster")
+					return true
+				}
+				key := strings.ToLower(strings.Trim(lit.Value, "`\""))
+				if seen[key] {
+					report(pass, call.Args[0], "registry",
+						"duplicate policy registration %s in this package: RegisterPolicy panics at run time on the second call", lit.Value)
+				}
+				seen[key] = true
+				return true
+			})
+		}
+	}
+}

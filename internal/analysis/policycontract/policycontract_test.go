@@ -1,0 +1,19 @@
+package policycontract_test
+
+import (
+	"testing"
+
+	"cellqos/internal/analysis/analysistest"
+	"cellqos/internal/analysis/policycontract"
+)
+
+func TestPolicyContract(t *testing.T) {
+	analysistest.Run(t, "testdata", policycontract.Analyzer, "cellqos/internal/policyfix")
+}
+
+// TestStubCoreClean runs the analyzer over the fixture's own core stub:
+// a package that declares the interface but no violating implementation
+// must be silent.
+func TestStubCoreClean(t *testing.T) {
+	analysistest.Run(t, "testdata", policycontract.Analyzer, "cellqos/internal/core")
+}

@@ -1,0 +1,19 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"cellqos/internal/analysis/analysistest"
+	"cellqos/internal/analysis/shardsafe"
+)
+
+func TestShardSafe(t *testing.T) {
+	analysistest.Run(t, "testdata", shardsafe.Analyzer, "cellqos/internal/shardfix")
+}
+
+// TestStubShardClean: the kernel package itself aggregates shard state
+// inside its own plain methods — none of that is an event handler, so
+// the analyzer must be silent on it.
+func TestStubShardClean(t *testing.T) {
+	analysistest.Run(t, "testdata", shardsafe.Analyzer, "cellqos/internal/sim/shard")
+}

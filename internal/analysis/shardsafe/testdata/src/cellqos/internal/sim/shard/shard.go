@@ -1,0 +1,41 @@
+// Package shard is the shardsafe fixture stub: the mailbox and the
+// kernel's barrier-only surface.
+package shard
+
+import "cellqos/internal/sim"
+
+// Shard mirrors one shard's scheduling surface.
+type Shard struct{ now float64 }
+
+// Now returns the shard clock.
+func (sh *Shard) Now() float64 { return sh.now }
+
+// MustAfter mirrors the event booking call.
+func (sh *Shard) MustAfter(dt float64, fn sim.Event) {}
+
+// Send mirrors the cross-shard mailbox.
+func (sh *Shard) Send(dst int, at float64, key uint64, fn sim.Event) {}
+
+// Kernel mirrors the coordinating kernel.
+type Kernel struct{ barrier float64 }
+
+// Shard hands out shard i's surface (barrier-only).
+func (k *Kernel) Shard(i int) *Shard { return nil }
+
+// Fired counts executed events (barrier-only).
+func (k *Kernel) Fired() uint64 { return 0 }
+
+// Pending counts queued events (barrier-only).
+func (k *Kernel) Pending() int { return 0 }
+
+// CanceledRetained counts canceled-but-queued events (barrier-only).
+func (k *Kernel) CanceledRetained() int { return 0 }
+
+// Lookahead returns the conservative window length.
+func (k *Kernel) Lookahead() float64 { return 0 }
+
+// Now returns the barrier clock.
+func (k *Kernel) Now() float64 { return k.barrier }
+
+// AtBarrier registers the quiescent hook.
+func (k *Kernel) AtBarrier(fn func(now float64)) {}

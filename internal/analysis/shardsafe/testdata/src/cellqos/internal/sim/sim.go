@@ -1,0 +1,12 @@
+// Package sim is the shardsafe fixture stub: the scheduler surface and
+// the Event signature the analyzer keys event-handler contexts on.
+package sim
+
+// Scheduler mirrors the per-shard scheduling surface.
+type Scheduler interface {
+	Now() float64
+	MustAfter(dt float64, fn Event)
+}
+
+// Event mirrors sim.Event.
+type Event func(s Scheduler)

@@ -6,21 +6,31 @@ package suite
 
 import (
 	"cellqos/internal/analysis"
+	"cellqos/internal/analysis/allowstale"
+	"cellqos/internal/analysis/crashorder"
 	"cellqos/internal/analysis/deprecated"
 	"cellqos/internal/analysis/genepoch"
 	"cellqos/internal/analysis/maporderflow"
 	"cellqos/internal/analysis/nodeterm"
 	"cellqos/internal/analysis/peervalue"
+	"cellqos/internal/analysis/policycontract"
+	"cellqos/internal/analysis/shardsafe"
 )
 
-// Analyzers returns the five cellqos invariant analyzers in stable
-// order.
+// Analyzers returns the nine cellqos invariant analyzers in stable
+// order. allowstale runs last by convention — it audits the
+// //cellqos:allow ledger the others populate, though the driver
+// enforces that ordering itself regardless of position here.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		crashorder.Analyzer,
 		deprecated.Analyzer,
 		genepoch.Analyzer,
 		maporderflow.Analyzer,
 		nodeterm.Analyzer,
 		peervalue.Analyzer,
+		policycontract.Analyzer,
+		shardsafe.Analyzer,
+		allowstale.Analyzer,
 	}
 }

@@ -7,12 +7,12 @@ import (
 	"cellqos/internal/analysis/suite"
 )
 
-// TestSuiteRegistry pins the analyzer set: five analyzers, unique
+// TestSuiteRegistry pins the analyzer set: nine analyzers, unique
 // names, documented.
 func TestSuiteRegistry(t *testing.T) {
 	as := suite.Analyzers()
-	if len(as) != 5 {
-		t.Fatalf("suite has %d analyzers, want 5", len(as))
+	if len(as) != 9 {
+		t.Fatalf("suite has %d analyzers, want 9", len(as))
 	}
 	seen := map[string]bool{}
 	for _, a := range as {
@@ -24,7 +24,10 @@ func TestSuiteRegistry(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, want := range []string{"nodeterm", "maporderflow", "peervalue", "deprecated", "genepoch"} {
+	for _, want := range []string{
+		"nodeterm", "maporderflow", "peervalue", "deprecated", "genepoch",
+		"policycontract", "shardsafe", "crashorder", "allowstale",
+	} {
 		if !seen[want] {
 			t.Errorf("suite is missing %q", want)
 		}
@@ -33,7 +36,7 @@ func TestSuiteRegistry(t *testing.T) {
 
 // TestRepoSweepClean is the in-process twin of `make lint`: the whole
 // module, test files included, must carry zero unsuppressed
-// diagnostics from the five analyzers. It keeps the invariant
+// diagnostics from the nine analyzers. It keeps the invariant
 // enforceable even where the vettool step is not wired up, and it
 // exercises the export-data loader end to end (so a loader regression
 // cannot hide behind a green fixture suite).

@@ -318,7 +318,7 @@ func NewEngine(cfg Config) *Engine {
 	if cs, ok := pol.(CellStater); ok {
 		// Per-cell mutable state: this engine dispatches to its own
 		// instance, never the shared registry value.
-		pol = cs.NewCellState()
+		pol = cs.CloneCellState()
 	}
 	e := &Engine{cfg: cfg, pol: pol, traits: pol.Traits(), index: make(map[ConnID]int)}
 	e.lk = cfg.Lock

@@ -83,11 +83,14 @@ type AdmissionPolicy interface {
 }
 
 // CellStater is implemented by policies with per-cell mutable state
-// (token buckets, dynamic guard levels). NewEngine calls NewCellState
+// (token buckets, dynamic guard levels). NewEngine calls CloneCellState
 // once per cell and dispatches to the returned instance, so state never
-// leaks between cells or between runs sharing one registry value.
+// leaks between cells or between runs sharing one registry value. The
+// clone must be deep: every mutable field reset or copied, never shared
+// through a pointer, slice, or map with the prototype — the
+// policycontract analyzer enforces this shape.
 type CellStater interface {
-	NewCellState() AdmissionPolicy
+	CloneCellState() AdmissionPolicy
 }
 
 // HandOffObserver receives every hand-off arrival at the cell, dropped

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -57,6 +58,11 @@ func TestPolicyByNameUnknown(t *testing.T) {
 // schemes plus the three rivals.
 func TestPolicyNamesComplete(t *testing.T) {
 	got := PolicyNames()
+	// `cellsim -policy list` and `cmd/arena -list` print this slice
+	// verbatim: it must be sorted regardless of registration order.
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("PolicyNames() = %v, not sorted", got)
+	}
 	want := []string{"ac1", "ac2", "ac3", "exp-dwell", "guard-dynamic",
 		"mob-spec", "multi-class", "none", "static", "token-bucket"}
 	if len(got) != len(want) {

@@ -35,7 +35,7 @@ import (
 // lent to new calls instead of sitting blocked.
 //
 // The struct doubles as the registry prototype (knobs only) and, via
-// NewCellState, the per-cell instance carrying mutable state. State is
+// CloneCellState, the per-cell instance carrying mutable state. State is
 // guarded by a mutex because neighbors may read the guard level through
 // the peer fan-out while the owning cell adapts it.
 type guardDynamicPolicy struct {
@@ -68,8 +68,8 @@ func defaultGuardDynamic() *guardDynamicPolicy {
 func (g *guardDynamicPolicy) Name() string         { return "guard-dynamic" }
 func (g *guardDynamicPolicy) Traits() PolicyTraits { return PolicyTraits{} }
 
-// NewCellState gives each cell its own guard level.
-func (g *guardDynamicPolicy) NewCellState() AdmissionPolicy {
+// CloneCellState gives each cell its own guard level.
+func (g *guardDynamicPolicy) CloneCellState() AdmissionPolicy {
 	return &guardDynamicPolicy{
 		Start: g.Start, Min: g.Min, Max: g.Max, Step: g.Step,
 		SuccessRun: g.SuccessRun, BorrowIdle: g.BorrowIdle,
@@ -216,8 +216,8 @@ func defaultTokenBucket() *tokenBucketPolicy {
 func (t *tokenBucketPolicy) Name() string         { return "token-bucket" }
 func (t *tokenBucketPolicy) Traits() PolicyTraits { return PolicyTraits{} }
 
-// NewCellState gives each cell its own bucket, initially full.
-func (t *tokenBucketPolicy) NewCellState() AdmissionPolicy {
+// CloneCellState gives each cell its own bucket, initially full.
+func (t *tokenBucketPolicy) CloneCellState() AdmissionPolicy {
 	return &tokenBucketPolicy{Burst: t.Burst, Rate: t.Rate, tokens: t.Burst}
 }
 

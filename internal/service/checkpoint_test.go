@@ -105,7 +105,7 @@ func TestCheckpointFallsBackToPrevOnTruncatedCurrent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(ck.CurrentPath(), data[:len(data)/2], 0o644); err != nil {
+	if err := os.WriteFile(ck.CurrentPath(), data[:len(data)/2], 0o644); err != nil { //cellqos:allow crashorder deliberate truncation to exercise the prev-checkpoint fallback
 		t.Fatal(err)
 	}
 

@@ -252,7 +252,7 @@ func TestSoakCorruptCheckpointMidChain(t *testing.T) {
 		t.Fatal(err)
 	}
 	data[len(data)/2] ^= 0x20
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil { //cellqos:allow crashorder deliberate corruption: the soak run must recover from a flipped byte
 		t.Fatal(err)
 	}
 

@@ -72,7 +72,7 @@ func TestSerialCrossShardScheduling(t *testing.T) {
 	k.Shard(0).MustAfter(1, func(s sim.Scheduler) {
 		got = append(got, "a@0")
 		// Serial mode allows scheduling onto another shard directly.
-		k.Shard(1).MustAfter(1, func(s sim.Scheduler) {
+		k.Shard(1).MustAfter(1, func(s sim.Scheduler) { //cellqos:allow shardsafe serial mode runs single-goroutine, so the cross-shard window rule does not apply
 			got = append(got, "b@1")
 		})
 	})
@@ -118,7 +118,7 @@ func TestWindowedSendDeliversAtBarrier(t *testing.T) {
 	}
 	k.Shard(0).MustAfter(0.25, func(s sim.Scheduler) {
 		rec("send@0.25")
-		s.(*Shard).Send(1, 1.25, 1, func(sim.Scheduler) { rec("recv@1.25") })
+		s.(*Shard).Send(1, 1.25, 1, func(sim.Scheduler) { rec("recv@1.25") }) //cellqos:allow shardsafe literal send time chosen ≥ now+lookahead by construction (window is 1.0)
 	})
 	k.Shard(1).MustAfter(0.5, func(sim.Scheduler) { rec("other@0.5") })
 	k.RunUntil(3)
@@ -139,7 +139,7 @@ func TestWindowedLookaheadViolationPanics(t *testing.T) {
 		}()
 		// Window is [0,1]; a message for t=0.75 would arrive in the
 		// receiver's past.
-		s.(*Shard).Send(1, 0.75, 1, func(sim.Scheduler) {})
+		s.(*Shard).Send(1, 0.75, 1, func(sim.Scheduler) {}) //cellqos:allow shardsafe deliberate lookahead violation: this test asserts the Send panics
 	})
 	k.RunUntil(2)
 }
@@ -156,7 +156,7 @@ func TestWindowedSameTimeMessagesOrderedByKey(t *testing.T) {
 			src := src
 			key := uint64(3 - src) // shard 1 sends key 2, shard 2 sends key 1
 			k.Shard(src).MustAfter(0.5, func(s sim.Scheduler) {
-				s.(*Shard).Send(0, 2.0, key, func(sim.Scheduler) {
+				s.(*Shard).Send(0, 2.0, key, func(sim.Scheduler) { //cellqos:allow shardsafe literal send time chosen ≥ now+lookahead by construction (window is 1.0)
 					mu.Lock()
 					got = append(got, key)
 					mu.Unlock()
